@@ -1,0 +1,190 @@
+package videoapp
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the corresponding result at a reduced scale (so `go test
+// -bench=.` completes in minutes) and reports the headline metric the paper
+// quotes. The cmd/experiments binary runs the same code at full scale and
+// prints the complete tables.
+
+import (
+	"testing"
+	"time"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/experiments"
+	"videoapp/internal/synth"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.FastConfig()
+	cfg.W, cfg.H, cfg.Frames = 96, 64, 12
+	cfg.Runs = 2
+	return cfg
+}
+
+// BenchmarkFigure3 regenerates the single-bit-flip MB-position PSNR surface.
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tl, br := res.Corners()
+		b.ReportMetric(br-tl, "dB-corner-gap")
+	}
+}
+
+// BenchmarkFigure8 regenerates the BCH overhead/capability table.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure8()
+		b.ReportMetric(res.Rows[0].OverheadPct, "pct-bch6-overhead")
+	}
+}
+
+// BenchmarkFigure9 regenerates the 16-bin importance validation curves.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.OrderViolations(0.5)), "order-violations")
+	}
+}
+
+// BenchmarkFigure10 regenerates the cumulative importance-class curves.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StorageFrac[0]*100, "pct-first-class-storage")
+	}
+}
+
+// BenchmarkTable1 regenerates the error-correction assignment from measured
+// Figure 10 data.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		f10, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab := experiments.DeriveTable1(f10)
+		b.ReportMetric(tab.TotalLossDB, "dB-estimated-loss")
+	}
+}
+
+// BenchmarkFigure11 regenerates the density/quality sweep for the three
+// storage designs.
+func BenchmarkFigure11(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(cfg, []int{24}, core.PaperAssignment())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OverheadReductionPct, "pct-ecc-overhead-cut")
+		b.ReportMetric(res.StorageSavingPct, "pct-storage-saved")
+	}
+}
+
+// BenchmarkEncryptionModes regenerates the §5 mode compatibility table.
+func BenchmarkEncryptionModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.EncryptionModes(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		usable := 0
+		for _, a := range res.Assessments {
+			if a.MeetsAll() {
+				usable++
+			}
+		}
+		b.ReportMetric(float64(usable), "usable-modes")
+	}
+}
+
+// BenchmarkAblation regenerates the §8 encoder-option sweep.
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblateEncoderOptions(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].LowImportanceFrac*100, "pct-approximable")
+	}
+}
+
+// BenchmarkScrubSweep regenerates the scrubbing-interval extension sweep.
+func BenchmarkScrubSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Presets = []string{"crew_like"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ScrubSweep(cfg, []float64{3, 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].RBER/res.Rows[0].RBER, "rber-growth-3to12mo")
+	}
+}
+
+// BenchmarkAnalysisOverhead measures §4.3.1: the VideoApp analysis cost
+// relative to encoding.
+func BenchmarkAnalysisOverhead(b *testing.B) {
+	cfg, _ := synth.PresetByName("crew_like")
+	seq := synth.Generate(cfg.ScaleTo(176, 144, 20))
+	params := codec.DefaultParams()
+	params.GOPSize = 20
+	params.SearchRange = 8
+	var encodeNs, analyzeNs int64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		v, err := codec.Encode(seq, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encodeNs += time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		core.Analyze(v, core.DefaultOptions())
+		analyzeNs += time.Since(t1).Nanoseconds()
+	}
+	if encodeNs > 0 {
+		b.ReportMetric(float64(analyzeNs)/float64(encodeNs)*100, "pct-of-encode-time")
+	}
+}
+
+// BenchmarkPipeline measures the end-to-end public API workflow.
+func BenchmarkPipeline(b *testing.B) {
+	seq, err := GenerateTestVideo("crew_like", 96, 64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPipeline()
+	p.Params.GOPSize = 10
+	p.Params.SearchRange = 8
+	for i := 0; i < b.N; i++ {
+		res, err := p.Process(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := res.StoreRoundTrip(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

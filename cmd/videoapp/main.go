@@ -1,0 +1,324 @@
+// Command videoapp is the approximate-video-storage pipeline tool: it
+// encodes raw (.y4m or synthetic) video into the container format, analyzes
+// bit-level importance, partitions frames into reliability classes, computes
+// the MLC storage footprint, and simulates storage round trips.
+//
+// Usage:
+//
+//	videoapp [flags] gen                 write a synthetic sequence as .y4m
+//	videoapp [flags] encode              raw video -> .vapp container
+//	videoapp [flags] info                summarize a .vapp container
+//	videoapp [flags] analyze             importance pivots per frame
+//	videoapp [flags] store               storage footprint + round trip
+//	videoapp [flags] decode              .vapp -> .y4m
+//	videoapp [flags] heatmap             per-MB importance map -> .pgm image
+//	videoapp presets                     list synthetic presets
+//
+// Input is -in FILE (.y4m or .vapp as appropriate) or, when -in is omitted,
+// the synthetic -preset at -w/-h/-frames.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"videoapp"
+	"videoapp/internal/quality"
+	"videoapp/internal/y4m"
+)
+
+type options struct {
+	in, out string
+	preset  string
+	w, h    int
+	frames  int
+	crf     int
+	gop     int
+	bframes int
+	slices  int
+	cavlc   bool
+	halfpel bool
+	deblock bool
+	seed    int64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.in, "in", "", "input file (.y4m for encode/gen reference, .vapp for info/analyze/store/decode)")
+	flag.StringVar(&o.out, "o", "", "output file")
+	flag.StringVar(&o.preset, "preset", "crew_like", "synthetic preset when -in is omitted")
+	flag.IntVar(&o.w, "w", 320, "synthetic frame width")
+	flag.IntVar(&o.h, "h", 176, "synthetic frame height")
+	flag.IntVar(&o.frames, "frames", 60, "synthetic frame count")
+	flag.IntVar(&o.crf, "crf", 24, "quality target (16=very high, 20=high, 24=standard)")
+	flag.IntVar(&o.gop, "gop", 30, "I-frame interval")
+	flag.IntVar(&o.bframes, "bframes", 0, "B frames between anchors")
+	flag.IntVar(&o.slices, "slices", 1, "slices per frame")
+	flag.BoolVar(&o.cavlc, "cavlc", false, "use CAVLC instead of CABAC")
+	flag.BoolVar(&o.halfpel, "halfpel", false, "half-pel motion compensation")
+	flag.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
+	flag.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "store"
+	}
+	if err := run(cmd, o); err != nil {
+		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func (o options) params() videoapp.Params {
+	p := videoapp.DefaultParams()
+	p.CRF = o.crf
+	p.GOPSize = o.gop
+	p.BFrames = o.bframes
+	p.SlicesPerFrame = o.slices
+	p.HalfPel = o.halfpel
+	p.Deblock = o.deblock
+	if o.cavlc {
+		p.Entropy = videoapp.CAVLC
+	}
+	return p
+}
+
+// loadRaw returns the raw input sequence: a .y4m file or a synthetic preset.
+func (o options) loadRaw() (*videoapp.Sequence, error) {
+	if o.in == "" {
+		return videoapp.GenerateTestVideo(o.preset, o.w, o.h, o.frames)
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return y4m.ReadAll(f, o.in)
+}
+
+// loadVideo returns an encoded video: a .vapp container (reanalyzed) or a
+// fresh encode of the raw input.
+func (o options) loadVideo() (*videoapp.Video, *videoapp.Sequence, error) {
+	if o.in != "" && looksLikeContainer(o.in) {
+		data, err := os.ReadFile(o.in)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := videoapp.Unmarshal(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := videoapp.Reanalyze(v); err != nil {
+			return nil, nil, err
+		}
+		return v, nil, nil
+	}
+	seq, err := o.loadRaw()
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := videoapp.Encode(seq, o.params())
+	return v, seq, err
+}
+
+func looksLikeContainer(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := f.Read(magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == "VAPP"
+}
+
+func run(cmd string, o options) error {
+	switch cmd {
+	case "presets":
+		for _, n := range videoapp.PresetNames() {
+			fmt.Println(n)
+		}
+		return nil
+	case "gen":
+		seq, err := videoapp.GenerateTestVideo(o.preset, o.w, o.h, o.frames)
+		if err != nil {
+			return err
+		}
+		return writeOut(o.out, func(f *os.File) error { return y4m.Write(f, seq) })
+	case "encode":
+		seq, err := o.loadRaw()
+		if err != nil {
+			return err
+		}
+		v, err := videoapp.Encode(seq, o.params())
+		if err != nil {
+			return err
+		}
+		data := videoapp.Marshal(v)
+		fmt.Printf("encoded %d frames: %d payload bits (%.3f bits/pixel), container %d bytes\n",
+			len(v.Frames), v.TotalPayloadBits(),
+			float64(v.TotalPayloadBits())/float64(seq.PixelCount()), len(data))
+		clean, err := videoapp.Decode(v)
+		if err != nil {
+			return err
+		}
+		rep, err := videoapp.Measure(seq, clean)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quality: PSNR %.2f dB, SSIM %.4f, MS-SSIM %.4f, VIF %.4f\n",
+			rep.PSNR, rep.SSIM, rep.MSSSIM, rep.VIF)
+		if o.out != "" {
+			return os.WriteFile(o.out, data, 0o644)
+		}
+		return nil
+	case "decode":
+		v, _, err := o.loadVideo()
+		if err != nil {
+			return err
+		}
+		seq, err := videoapp.Decode(v)
+		if err != nil {
+			return err
+		}
+		return writeOut(o.out, func(f *os.File) error { return y4m.Write(f, seq) })
+	case "info":
+		v, _, err := o.loadVideo()
+		if err != nil {
+			return err
+		}
+		types := map[string]int{}
+		for _, f := range v.Frames {
+			types[f.Type.String()]++
+		}
+		fmt.Printf("%dx%d @ %d fps, %d frames (I:%d P:%d B:%d), %s, CRF %d, GOP %d, %d slice(s)\n",
+			v.W, v.H, v.FPS, len(v.Frames), types["I"], types["P"], types["B"],
+			v.Params.Entropy, v.Params.CRF, v.Params.GOPSize, max1(v.Params.SlicesPerFrame))
+		fmt.Printf("payload: %d bits, headers: %d bits\n", v.TotalPayloadBits(), v.HeaderBits())
+		return nil
+	case "heatmap":
+		v, _, err := o.loadVideo()
+		if err != nil {
+			return err
+		}
+		an := videoapp.Analyze(v)
+		return writeOut(o.out, func(f *os.File) error { return writeHeatmapPGM(f, v, an) })
+	case "analyze":
+		v, _, err := o.loadVideo()
+		if err != nil {
+			return err
+		}
+		an := videoapp.Analyze(v)
+		parts := an.Partition(videoapp.PaperAssignment())
+		fmt.Printf("max importance: %.0f MBs\n", an.MaxImportance())
+		for f, fp := range parts {
+			if f > 4 && f < len(parts)-1 {
+				if f == 5 {
+					fmt.Println("  ...")
+				}
+				continue
+			}
+			fmt.Printf("  frame %3d (%s): %d pivots:", f, v.Frames[f].Type, len(fp.Pivots))
+			for _, pv := range fp.Pivots {
+				fmt.Printf(" [bit %d -> %s]", pv.Bit, pv.Scheme.Name)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "store":
+		v, seq, err := o.loadVideo()
+		if err != nil {
+			return err
+		}
+		p := videoapp.NewPipeline()
+		p.Params = v.Params
+		if seq == nil {
+			// Container input: measure against the clean decode.
+			clean, err := videoapp.Decode(v)
+			if err != nil {
+				return err
+			}
+			seq = clean
+		}
+		res, err := p.Process(seq)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("storage footprint: %.0f cells, %.4f cells/pixel, ECC overhead %.1f%%\n",
+			res.Stats.Cells, res.Stats.CellsPerPixel, res.Stats.ECCOverhead*100)
+		for name, bits := range res.Stats.PerScheme {
+			fmt.Printf("  %-7s %12d bits\n", name, bits)
+		}
+		clean, err := videoapp.Decode(res.Video)
+		if err != nil {
+			return err
+		}
+		dec, flips, err := res.StoreRoundTrip(o.seed)
+		if err != nil {
+			return err
+		}
+		p0, _ := quality.PSNR(seq, clean)
+		p1, _ := quality.PSNR(seq, dec)
+		fmt.Printf("round trip: %d residual bit errors, PSNR %.2f dB (clean %.2f, loss %.3f dB)\n",
+			flips, p1, p0, p0-p1)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|presets)", cmd)
+	}
+}
+
+func writeOut(path string, write func(*os.File) error) error {
+	if path == "" {
+		return fmt.Errorf("this command requires -o FILE")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+// writeHeatmapPGM renders the per-macroblock importance of every frame as a
+// tiled grayscale image (one tile per frame, log-scaled), a quick visual
+// check of the Figure 2(c)/Figure 4 dependency structure.
+func writeHeatmapPGM(f *os.File, v *videoapp.Video, an *videoapp.Analysis) error {
+	mbCols, mbRows := v.MBCols(), v.MBRows()
+	tiles := len(v.Frames)
+	cols := 1
+	for cols*cols < tiles {
+		cols++
+	}
+	rows := (tiles + cols - 1) / cols
+	imgW, imgH := cols*(mbCols+1), rows*(mbRows+1)
+	pix := make([]uint8, imgW*imgH)
+	maxLog := math.Log2(an.MaxImportance() + 1)
+	if maxLog <= 0 {
+		maxLog = 1
+	}
+	for fi := range v.Frames {
+		ox, oy := (fi%cols)*(mbCols+1), (fi/cols)*(mbRows+1)
+		for m, imp := range an.Importance[fi] {
+			level := math.Log2(imp+1) / maxLog
+			x, y := ox+m%mbCols, oy+m/mbCols
+			pix[y*imgW+x] = uint8(255 * level)
+		}
+	}
+	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", imgW, imgH); err != nil {
+		return err
+	}
+	_, err := f.Write(pix)
+	return err
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+package videoapp_test
+
+// Runnable documentation for the public API (go test runs these and checks
+// the output).
+
+import (
+	"fmt"
+
+	"videoapp"
+)
+
+// The shortest useful workflow: encode, analyze, partition, report density.
+func ExamplePipeline() {
+	seq, _ := videoapp.GenerateTestVideo("news_like", 64, 48, 6)
+	p := videoapp.NewPipeline()
+	p.Params.GOPSize = 6
+	p.Params.SearchRange = 8
+	res, _ := p.Process(seq)
+	fmt.Println("frames:", len(res.Video.Frames))
+	fmt.Println("partitions:", len(res.Partitions))
+	fmt.Println("density positive:", res.Stats.CellsPerPixel > 0)
+	// Output:
+	// frames: 6
+	// partitions: 6
+	// density positive: true
+}
+
+// Importance is monotone within each frame — the §4.4 pivot property.
+func ExampleAnalyze() {
+	seq, _ := videoapp.GenerateTestVideo("crew_like", 64, 48, 4)
+	p := videoapp.DefaultParams()
+	p.GOPSize = 4
+	p.SearchRange = 8
+	v, _ := videoapp.Encode(seq, p)
+	an := videoapp.Analyze(v)
+	fmt.Println("monotone:", an.CheckMonotone() == nil)
+	fmt.Println("first frame head >= tail:",
+		an.Importance[0][0] >= an.Importance[0][len(an.Importance[0])-1])
+	// Output:
+	// monotone: true
+	// first frame head >= tail: true
+}
+
+// Containers survive a marshal/unmarshal round trip bit-exactly.
+func ExampleMarshal() {
+	seq, _ := videoapp.GenerateTestVideo("news_like", 64, 48, 3)
+	p := videoapp.DefaultParams()
+	p.GOPSize = 3
+	p.SearchRange = 8
+	v, _ := videoapp.Encode(seq, p)
+	data := videoapp.Marshal(v)
+	v2, err := videoapp.Unmarshal(data)
+	fmt.Println("err:", err)
+	fmt.Println("same payload bits:", v2.TotalPayloadBits() == v.TotalPayloadBits())
+	// Output:
+	// err: <nil>
+	// same payload bits: true
+}

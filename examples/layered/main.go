@@ -1,0 +1,106 @@
+// Layered demonstrates the cross-layer approximation dimension from the
+// paper's related work: an SNR-scalable encoding whose enhancement layer is
+// never referenced by any prediction, so its errors damage at most the one
+// frame that carries them — unlike base-layer errors, which propagate
+// through the whole group of pictures. Equal corruption therefore costs far
+// less quality in the enhancement layer, making it the natural bottom class
+// of the approximate store.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"videoapp"
+	"videoapp/internal/bitio"
+	"videoapp/internal/codec"
+	"videoapp/internal/quality"
+)
+
+const flipsPerLayer = 24
+
+func main() {
+	seq, err := videoapp.GenerateTestVideo("stockholm_like", 320, 176, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Coarse base + refinement layer.
+	p := videoapp.DefaultParams()
+	p.CRF = 32
+	lv, err := codec.EncodeLayered(seq, p, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := codec.Decode(lv.Base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := codec.DecodeLayered(lv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pBase, _ := quality.PSNR(seq, base)
+	pClean, _ := quality.PSNR(seq, clean)
+	fmt.Printf("base layer:       %7d bits, PSNR %.2f dB\n", lv.Base.TotalPayloadBits(), pBase)
+	fmt.Printf("with enhancement: %7d bits, PSNR %.2f dB\n",
+		lv.Base.TotalPayloadBits()+lv.EnhBits(), pClean)
+
+	// Same number of bit flips into each layer; measure who suffers more.
+	rng := rand.New(rand.NewSource(7))
+
+	// (a) corrupt the enhancement only.
+	enhOrig := lv.Enh
+	lv.Enh = corruptStreams(rng, lv.Enh, flipsPerLayer)
+	enhDamaged, err := codec.DecodeLayered(lv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lv.Enh = enhOrig
+	pEnhDmg, _ := quality.PSNR(clean, enhDamaged)
+
+	// (b) corrupt the base only (same flip count).
+	baseClone := lv.Base.Clone()
+	var payloads [][]byte
+	for _, f := range baseClone.Frames {
+		payloads = append(payloads, f.Payload)
+	}
+	payloads = corruptStreams(rng, payloads, flipsPerLayer)
+	for i, f := range baseClone.Frames {
+		f.Payload = payloads[i]
+	}
+	lvDamagedBase := &codec.LayeredVideo{Base: baseClone, EnhQPDelta: lv.EnhQPDelta, Enh: lv.Enh, EnhMBs: lv.EnhMBs}
+	baseDamaged, err := codec.DecodeLayered(lvDamagedBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pBaseDmg, _ := quality.PSNR(clean, baseDamaged)
+
+	fmt.Printf("\n%d bit flips in the enhancement layer: PSNR %.2f dB vs clean\n", flipsPerLayer, pEnhDmg)
+	fmt.Printf("%d bit flips in the base layer:        PSNR %.2f dB vs clean\n", flipsPerLayer, pBaseDmg)
+	fmt.Printf("\nenhancement damage stays in single frames (no prediction references it);\n")
+	fmt.Printf("base damage propagates through the GOP — %.1f dB worse for the same flips.\n", pEnhDmg-pBaseDmg)
+	fmt.Println("the enhancement layer is therefore the approximate store's cheapest class.")
+}
+
+// corruptStreams flips n random bits spread across the byte slices.
+func corruptStreams(rng *rand.Rand, streams [][]byte, n int) [][]byte {
+	out := make([][]byte, len(streams))
+	var total int64
+	for i, s := range streams {
+		out[i] = append([]byte(nil), s...)
+		total += int64(len(s)) * 8
+	}
+	for k := 0; k < n; k++ {
+		pos := rng.Int63n(total)
+		for i := range out {
+			bits := int64(len(out[i])) * 8
+			if pos < bits {
+				bitio.FlipBit(out[i], pos)
+				break
+			}
+			pos -= bits
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module videoapp
+
+go 1.22

@@ -1,0 +1,88 @@
+package bch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEmpiricalFailureRateMatchesAnalytic drives actual codewords through
+// actual error injection and the actual decoder, validating the analytic
+// model the storage simulations rely on: a block fails exactly when it
+// carries more than t raw errors.
+func TestEmpiricalFailureRateMatchesAnalytic(t *testing.T) {
+	const (
+		tCap   = 2
+		data   = 96
+		p      = 0.008
+		trials = 3000
+	)
+	c := MustNew(tCap, data)
+	n := c.BlockBits()
+	rng := rand.New(rand.NewSource(77))
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		payload := randBits(rng, data)
+		block, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// iid raw errors at rate p.
+		flips := 0
+		for i := range block {
+			if rng.Float64() < p {
+				block[i] ^= 1
+				flips++
+			}
+		}
+		got, _, ok := c.Decode(block)
+		recovered := ok
+		if recovered {
+			for i := range payload {
+				if got[i] != payload[i] {
+					recovered = false
+					break
+				}
+			}
+		}
+		if flips <= tCap && !recovered {
+			t.Fatalf("trial %d: %d <= t errors but decode failed", trial, flips)
+		}
+		if !recovered {
+			failures++
+		}
+	}
+	want := UncorrectableBlockProbN(n, tCap, p)
+	got := float64(failures) / trials
+	// Binomial sampling noise: 3 sigma around the analytic rate.
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 3*sigma+0.005 {
+		t.Fatalf("empirical failure rate %.4f vs analytic %.4f (sigma %.4f)", got, want, sigma)
+	}
+	t.Logf("empirical %.4f, analytic %.4f over %d trials", got, want, trials)
+}
+
+// TestDecoderNeverMiscorrectsWithinCapacity complements the statistical
+// check: within capacity, the decoder must restore the exact payload, never
+// merely report success.
+func TestDecoderNeverMiscorrectsWithinCapacity(t *testing.T) {
+	c := MustNew(4, 64)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		payload := randBits(rng, 64)
+		block, _ := c.Encode(payload)
+		k := rng.Intn(5) // 0..4 = t errors
+		for _, pos := range rng.Perm(len(block))[:k] {
+			block[pos] ^= 1
+		}
+		got, nCorr, ok := c.Decode(block)
+		if !ok || nCorr != k {
+			t.Fatalf("trial %d: ok=%v corrected=%d want %d", trial, ok, nCorr, k)
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				t.Fatalf("trial %d: silent miscorrection", trial)
+			}
+		}
+	}
+}

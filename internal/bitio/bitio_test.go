@@ -1,0 +1,286 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xFF, 8)
+	w.WriteBit(0)
+	w.WriteBit(1)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("got %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("got %x", v)
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("want 0")
+	}
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("want 1")
+	}
+}
+
+func TestBitPosTracking(t *testing.T) {
+	w := NewWriter()
+	if w.BitPos() != 0 {
+		t.Fatal("fresh writer must be at 0")
+	}
+	w.WriteBits(0, 13)
+	if w.BitPos() != 13 {
+		t.Fatalf("pos = %d, want 13", w.BitPos())
+	}
+	w.WriteUE(0) // one bit
+	if w.BitPos() != 14 {
+		t.Fatalf("pos = %d, want 14", w.BitPos())
+	}
+}
+
+func TestUERoundTrip(t *testing.T) {
+	values := []uint32{0, 1, 2, 3, 7, 8, 100, 1 << 16, 1<<31 - 1}
+	w := NewWriter()
+	for _, v := range values {
+		w.WriteUE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range values {
+		got, err := r.ReadUE()
+		if err != nil {
+			t.Fatalf("ReadUE: %v", err)
+		}
+		if got != want {
+			t.Fatalf("got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	values := []int32{0, 1, -1, 2, -2, 100, -100, 1 << 20, -(1 << 20)}
+	w := NewWriter()
+	for _, v := range values {
+		w.WriteSE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range values {
+		got, err := r.ReadSE()
+		if err != nil {
+			t.Fatalf("ReadSE: %v", err)
+		}
+		if got != want {
+			t.Fatalf("got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestUERoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= 1<<30 - 1
+		w := NewWriter()
+		w.WriteUE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadUE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSERoundTripProperty(t *testing.T) {
+	f := func(v int32) bool {
+		v %= 1 << 28
+		w := NewWriter()
+		w.WriteSE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadSE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBitSequenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]int, 1000)
+	w := NewWriter()
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		w.WriteBit(bits[i])
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestReadUECorruptLongZeroRun(t *testing.T) {
+	// 40 zero bits: must fail as desync, not loop or return garbage.
+	r := NewReader(make([]byte, 5))
+	if _, err := r.ReadUE(); err != ErrOutOfBits {
+		t.Fatalf("want ErrOutOfBits, got %v", err)
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	w.AlignByte()
+	if w.BitPos() != 8 {
+		t.Fatalf("writer pos = %d, want 8", w.BitPos())
+	}
+	w.WriteBits(0xAB, 8)
+	r := NewReader(w.Bytes())
+	r.ReadBits(3)
+	r.AlignByte()
+	if r.BitPos() != 8 {
+		t.Fatalf("reader pos = %d, want 8", r.BitPos())
+	}
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	buf := []byte{0x00, 0xFF}
+	FlipBit(buf, 0)
+	if buf[0] != 0x80 {
+		t.Fatalf("buf[0] = %x", buf[0])
+	}
+	FlipBit(buf, 15)
+	if buf[1] != 0xFE {
+		t.Fatalf("buf[1] = %x", buf[1])
+	}
+	FlipBit(buf, 0)
+	FlipBit(buf, 15)
+	if buf[0] != 0 || buf[1] != 0xFF {
+		t.Fatal("double flip must restore")
+	}
+	FlipBit(buf, -1) // no-op
+	FlipBit(buf, 16) // no-op
+	if buf[0] != 0 || buf[1] != 0xFF {
+		t.Fatal("out-of-range flips must be no-ops")
+	}
+}
+
+func TestGetBit(t *testing.T) {
+	buf := []byte{0b10100000}
+	want := []int{1, 0, 1, 0}
+	for i, wb := range want {
+		if got := GetBit(buf, int64(i)); got != wb {
+			t.Fatalf("bit %d: got %d want %d", i, got, wb)
+		}
+	}
+	if GetBit(buf, 100) != 0 || GetBit(buf, -1) != 0 {
+		t.Fatal("out-of-range must be 0")
+	}
+}
+
+func TestCopyBits(t *testing.T) {
+	src := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	dst := make([]byte, 4)
+	CopyBits(dst, 3, src, 3, 26)
+	for i := int64(3); i < 29; i++ {
+		if GetBit(dst, i) != GetBit(src, i) {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	if GetBit(dst, 0) != 0 || GetBit(dst, 31) != 0 {
+		t.Fatal("bits outside the copied range must stay 0")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.BitPos() != 0 || w.Len() != 0 {
+		t.Fatal("reset writer must be empty")
+	}
+	w.WriteBits(0xA, 4)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xA0 {
+		t.Fatalf("got % x", got)
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	w := NewWriter()
+	if w.Len() != 0 {
+		t.Fatal("empty")
+	}
+	w.WriteBit(1)
+	if w.Len() != 1 {
+		t.Fatal("partial byte counts")
+	}
+	w.WriteBits(0, 7)
+	if w.Len() != 1 {
+		t.Fatal("exactly one byte")
+	}
+	w.WriteBit(0)
+	if w.Len() != 2 {
+		t.Fatal("second byte")
+	}
+}
+
+func TestReaderSeek(t *testing.T) {
+	r := NewReader([]byte{0x0F})
+	r.SeekBit(4)
+	if v, _ := r.ReadBits(4); v != 0xF {
+		t.Fatalf("got %x", v)
+	}
+	r.SeekBit(-5)
+	if r.BitPos() != 0 {
+		t.Fatal("negative seek clamps to 0")
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 17)
+	}
+}
+
+func BenchmarkReadUE(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < 1000; i++ {
+		w.WriteUE(uint32(i % 512))
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 64 {
+			r.SeekBit(0)
+		}
+		r.ReadUE()
+	}
+}

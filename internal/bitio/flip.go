@@ -1,0 +1,37 @@
+package bitio
+
+// FlipBit inverts the bit at absolute bit offset pos (MSB-first) in buf.
+// Offsets outside the buffer are ignored.
+func FlipBit(buf []byte, pos int64) {
+	if pos < 0 || pos >= int64(len(buf))*8 {
+		return
+	}
+	buf[pos>>3] ^= 1 << (7 - uint(pos&7))
+}
+
+// GetBit returns the bit at absolute bit offset pos, or 0 outside the buffer.
+func GetBit(buf []byte, pos int64) int {
+	if pos < 0 || pos >= int64(len(buf))*8 {
+		return 0
+	}
+	return int(buf[pos>>3] >> (7 - uint(pos&7)) & 1)
+}
+
+// CopyBits copies n bits starting at bit offset srcPos in src into dst
+// starting at bit offset dstPos. Regions must already be allocated; bits
+// outside either buffer are skipped.
+func CopyBits(dst []byte, dstPos int64, src []byte, srcPos, n int64) {
+	for i := int64(0); i < n; i++ {
+		sp, dp := srcPos+i, dstPos+i
+		if sp < 0 || sp >= int64(len(src))*8 || dp < 0 || dp >= int64(len(dst))*8 {
+			continue
+		}
+		b := src[sp>>3] >> (7 - uint(sp&7)) & 1
+		mask := byte(1) << (7 - uint(dp&7))
+		if b == 1 {
+			dst[dp>>3] |= mask
+		} else {
+			dst[dp>>3] &^= mask
+		}
+	}
+}

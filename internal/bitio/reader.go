@@ -1,0 +1,106 @@
+package bitio
+
+import "errors"
+
+// ErrOutOfBits is returned when a read crosses the end of the stream.
+//
+// The error-resilient video decoder treats it as a desync signal and conceals
+// the rest of the frame rather than aborting the whole decode.
+var ErrOutOfBits = errors.New("bitio: out of bits")
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int64 // bit position
+}
+
+// NewReader returns a Reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit, or ErrOutOfBits past the end.
+func (r *Reader) ReadBit() (int, error) {
+	if r.pos >= int64(len(r.buf))*8 {
+		return 0, ErrOutOfBits
+	}
+	b := r.buf[r.pos>>3] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return int(b), nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64, MSB-first.
+// n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadBool reads one bit and reports whether it is 1.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// ReadUE reads an unsigned exponential-Golomb code.
+//
+// Corrupt streams can contain arbitrarily long runs of zeros; runs longer
+// than 32 bits are reported as ErrOutOfBits so that callers treat them as a
+// desync rather than an infinite value.
+func (r *Reader) ReadUE() (uint32, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, ErrOutOfBits
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	v := (uint64(1)<<zeros | rest) - 1
+	return uint32(v), nil
+}
+
+// ReadSE reads a signed exponential-Golomb code.
+func (r *Reader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	return ueToSE(u), nil
+}
+
+// BitPos reports the number of bits consumed so far.
+func (r *Reader) BitPos() int64 { return r.pos }
+
+// SeekBit positions the reader at absolute bit offset pos.
+func (r *Reader) SeekBit(pos int64) {
+	if pos < 0 {
+		pos = 0
+	}
+	r.pos = pos
+}
+
+// AlignByte advances to the next byte boundary.
+func (r *Reader) AlignByte() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() int64 { return int64(len(r.buf))*8 - r.pos }

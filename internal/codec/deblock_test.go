@@ -1,0 +1,146 @@
+package codec
+
+import (
+	"testing"
+
+	"videoapp/internal/bitio"
+	"videoapp/internal/quality"
+)
+
+func TestDeblockEncodeDecodeConsistency(t *testing.T) {
+	// The filter runs in the reconstruction loop: any encoder/decoder
+	// mismatch would drift across the P-frame chain and collapse quality by
+	// the end of the GOP.
+	seq := testSeq(t, "crew_like", 96, 64, 12)
+	p := testParams()
+	p.Deblock = true
+	_, dec := encodeDecode(t, seq, p)
+	last, err := quality.PSNRFrame(seq.Frames[11], dec.Frames[11])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last < 28 {
+		t.Fatalf("deblocked chain drifted: final frame PSNR %.2f dB", last)
+	}
+}
+
+func TestDeblockChangesOutput(t *testing.T) {
+	seq := testSeq(t, "news_like", 96, 64, 6)
+	p := testParams()
+	p.CRF = 36 // strong quantization produces blocking to filter
+	v1, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Deblock = true
+	v2, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := Decode(v1)
+	d2, _ := Decode(v2)
+	diff := 0
+	for i := range d1.Frames[0].Y {
+		if d1.Frames[0].Y[i] != d2.Frames[0].Y[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("deblocking must change the reconstruction at high QP")
+	}
+}
+
+func TestDeblockDoesNotHurtQualityMuch(t *testing.T) {
+	seq := testSeq(t, "crew_like", 96, 64, 8)
+	measure := func(deblock bool) float64 {
+		p := testParams()
+		p.CRF = 32
+		p.Deblock = deblock
+		_, dec := encodeDecode(t, seq, p)
+		psnr, _ := quality.PSNR(seq, dec)
+		return psnr
+	}
+	off, on := measure(false), measure(true)
+	if on < off-0.5 {
+		t.Fatalf("deblocking cost %.2f dB (off %.2f, on %.2f)", off-on, off, on)
+	}
+}
+
+func TestDeblockSurvivesCorruption(t *testing.T) {
+	seq := testSeq(t, "sports_like", 64, 48, 5)
+	p := testParams()
+	p.Deblock = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		c := v.Clone()
+		for _, f := range c.Frames {
+			bitio.FlipBit(f.Payload, int64(trial*41)%f.PayloadBits())
+		}
+		if _, err := Decode(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeblockContainerFlag(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 3)
+	p := testParams()
+	p.Deblock = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(Marshal(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Params.Deblock {
+		t.Fatal("deblock flag lost in container")
+	}
+	// Decodes identically through the container.
+	a, _ := Decode(v)
+	b, _ := Decode(got)
+	for i := range a.Frames {
+		for j := range a.Frames[i].Y {
+			if a.Frames[i].Y[j] != b.Frames[i].Y[j] {
+				t.Fatal("container decode differs with deblocking")
+			}
+		}
+	}
+}
+
+func TestDeblockThresholdsMonotone(t *testing.T) {
+	lastA, lastB := 0, 0
+	for qp := 0; qp <= 51; qp++ {
+		a, b := deblockThresholds(qp)
+		if a < lastA || b < lastB {
+			t.Fatalf("thresholds must grow with QP (qp=%d)", qp)
+		}
+		lastA, lastB = a, b
+	}
+}
+
+func TestDeblockPreservesRealEdges(t *testing.T) {
+	// A strong step edge must not be smoothed away.
+	f := testSeq(t, "news_like", 64, 48, 1).Frames[0]
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			if x < 32 {
+				f.Y[y*64+x] = 30
+			} else {
+				f.Y[y*64+x] = 220
+			}
+		}
+	}
+	qps := make([]int, (64/16)*(48/16))
+	for i := range qps {
+		qps[i] = 30
+	}
+	deblockFrame(f, qps, 4)
+	if f.LumaAt(31, 10) != 30 || f.LumaAt(32, 10) != 220 {
+		t.Fatalf("real edge was filtered: %d / %d", f.LumaAt(31, 10), f.LumaAt(32, 10))
+	}
+}

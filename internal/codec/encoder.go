@@ -1,0 +1,674 @@
+package codec
+
+import (
+	"fmt"
+
+	"videoapp/internal/bitio"
+	"videoapp/internal/entropy"
+	"videoapp/internal/frame"
+	"videoapp/internal/predict"
+	"videoapp/internal/transform"
+)
+
+// Encode compresses the sequence with the given parameters, producing the
+// coded video together with the per-macroblock records consumed by the
+// VideoApp dependency analysis.
+func Encode(seq *frame.Sequence, p Params) (*Video, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seq.Frames) == 0 {
+		return nil, fmt.Errorf("codec: empty sequence")
+	}
+	w, h := seq.W(), seq.H()
+	if w%frame.MBSize != 0 || h%frame.MBSize != 0 {
+		return nil, errFrameGeometry(w, h)
+	}
+	v := &Video{Params: p, W: w, H: h, FPS: seq.FPS}
+	order := codedOrder(len(seq.Frames), p)
+	// rec holds reconstructed frames by coded index; displayToCoded maps
+	// display positions of already-coded frames.
+	rec := make([]*frame.Frame, len(order))
+	displayToCoded := make(map[int]int, len(order))
+	for codedIdx, disp := range order {
+		ft := frameTypeOf(disp.display, len(seq.Frames), p)
+		ef := &EncodedFrame{
+			Type:       ft,
+			CodedIdx:   codedIdx,
+			DisplayIdx: disp.display,
+			RefFwd:     -1,
+			RefBwd:     -1,
+		}
+		ef.BaseQP = baseQPFor(ft, p)
+		switch ft {
+		case FrameP:
+			ef.RefFwd = nearestCodedBefore(displayToCoded, disp.display, p)
+		case FrameB:
+			ef.RefFwd = nearestCodedBefore(displayToCoded, disp.display, p)
+			ef.RefBwd = nearestCodedAfter(displayToCoded, disp.display)
+		}
+		fe := &frameEncoder{
+			params:  p,
+			video:   v,
+			ef:      ef,
+			orig:    seq.Frames[disp.display],
+			rec:     frame.MustNew(w, h),
+			recRefs: rec,
+		}
+		fe.run()
+		rec[codedIdx] = fe.rec
+		displayToCoded[disp.display] = codedIdx
+		v.Frames = append(v.Frames, ef)
+	}
+	return v, nil
+}
+
+type codedEntry struct{ display int }
+
+// codedOrder computes the coded (stream) order of display frames: each
+// anchor first, then the B frames that precede it in display order.
+func codedOrder(n int, p Params) []codedEntry {
+	var order []codedEntry
+	if p.BFrames == 0 {
+		for d := 0; d < n; d++ {
+			order = append(order, codedEntry{d})
+		}
+		return order
+	}
+	prevAnchor := -1
+	for d := 0; d < n; d++ {
+		if !isAnchor(d, p) {
+			continue
+		}
+		order = append(order, codedEntry{d})
+		if p.BReference {
+			// Referenced Bs are coded in display order between anchors.
+			for b := prevAnchor + 1; b < d; b++ {
+				order = append(order, codedEntry{b})
+			}
+		} else {
+			for b := prevAnchor + 1; b < d; b++ {
+				order = append(order, codedEntry{b})
+			}
+		}
+		prevAnchor = d
+	}
+	// Trailing frames after the last anchor are coded as P frames.
+	for d := prevAnchor + 1; d < n; d++ {
+		order = append(order, codedEntry{d})
+	}
+	return order
+}
+
+func isAnchor(display int, p Params) bool {
+	return display%(p.BFrames+1) == 0
+}
+
+func frameTypeOf(display, n int, p Params) FrameType {
+	if display%p.GOPSize == 0 {
+		return FrameI
+	}
+	if p.BFrames > 0 && !isAnchor(display, p) {
+		// Trailing frames past the final anchor become P.
+		lastAnchor := (n - 1) / (p.BFrames + 1) * (p.BFrames + 1)
+		if display > lastAnchor {
+			return FrameP
+		}
+		return FrameB
+	}
+	return FrameP
+}
+
+func baseQPFor(t FrameType, p Params) int {
+	switch t {
+	case FrameI:
+		return transform.ClampQP(p.CRF - 3)
+	case FrameB:
+		return transform.ClampQP(p.CRF + 2)
+	default:
+		return transform.ClampQP(p.CRF)
+	}
+}
+
+// nearestCodedBefore finds the coded index of the closest already-coded
+// frame displayed before d that is allowed as a reference.
+func nearestCodedBefore(d2c map[int]int, d int, p Params) int {
+	for disp := d - 1; disp >= 0; disp-- {
+		if ci, ok := d2c[disp]; ok {
+			if !p.BReference && !isAnchor(disp, p) && p.BFrames > 0 {
+				continue
+			}
+			return ci
+		}
+	}
+	return -1
+}
+
+func nearestCodedAfter(d2c map[int]int, d int) int {
+	best, bestDisp := -1, 1<<30
+	for disp, ci := range d2c {
+		if disp > d && disp < bestDisp {
+			best, bestDisp = ci, disp
+		}
+	}
+	return best
+}
+
+// frameEncoder carries per-frame encoding state.
+type frameEncoder struct {
+	params  Params
+	video   *Video
+	ef      *EncodedFrame
+	orig    *frame.Frame
+	rec     *frame.Frame
+	recRefs []*frame.Frame
+
+	sw      entropy.SymbolWriter
+	qps     []int
+	mvRep   []predict.MV
+	mvAvail []bool
+	// sliceTop is the first macroblock row of the slice being coded;
+	// prediction never crosses it.
+	sliceTop int
+}
+
+func (fe *frameEncoder) run() {
+	w := bitio.NewWriter()
+	mbCols, mbRows := fe.orig.MBCols(), fe.orig.MBRows()
+	fe.qps = make([]int, mbCols*mbRows)
+	fe.mvRep = make([]predict.MV, mbCols*mbRows)
+	fe.mvAvail = make([]bool, mbCols*mbRows)
+	nSlices := fe.params.slices()
+	if nSlices > mbRows {
+		nSlices = mbRows
+	}
+	for s := 0; s < nSlices; s++ {
+		topRow := s * mbRows / nSlices
+		botRow := (s + 1) * mbRows / nSlices
+		fe.sliceTop = topRow
+		fe.ef.SliceMBStart = append(fe.ef.SliceMBStart, topRow*mbCols)
+		fe.ef.SliceByteStart = append(fe.ef.SliceByteStart, w.Len())
+		// Each slice has its own entropy context: a fresh coder over the
+		// shared byte-aligned output.
+		fe.sw = newSymbolWriter(fe.params.Entropy, w)
+		for my := topRow; my < botRow; my++ {
+			for mx := 0; mx < mbCols; mx++ {
+				start := fe.sw.BitPos()
+				rec := fe.encodeMB(mx, my)
+				rec.BitStart = start
+				rec.BitLen = fe.sw.BitPos() - start
+				fe.ef.MBs = append(fe.ef.MBs, rec)
+			}
+		}
+		fe.sw.Flush()
+		// Flush/termination bits are charged to the slice's last macroblock
+		// so every payload bit belongs to exactly one importance region.
+		if n := len(fe.ef.MBs); n > 0 {
+			last := &fe.ef.MBs[n-1]
+			last.BitLen = w.BitPos() - last.BitStart
+		}
+	}
+	fe.ef.Payload = w.Bytes()
+	if fe.params.Deblock {
+		deblockFrame(fe.rec, fe.qps, mbCols)
+	}
+}
+
+// mvDiv is the divisor converting motion vector units to chroma pixels.
+func (fe *frameEncoder) mvDiv() int {
+	if fe.params.HalfPel {
+		return 4
+	}
+	return 2
+}
+
+func (fe *frameEncoder) compensate(buf []uint8, ref *frame.Frame, cx, cy, w, h int, mv predict.MV) {
+	if fe.params.HalfPel {
+		predict.CompensateHP(buf, ref, cx, cy, w, h, mv)
+	} else {
+		predict.Compensate(buf, ref, cx, cy, w, h, mv)
+	}
+}
+
+func (fe *frameEncoder) compensateBi(buf []uint8, ref0, ref1 *frame.Frame, cx, cy, w, h int, mv0, mv1 predict.MV) {
+	if fe.params.HalfPel {
+		predict.CompensateBiHP(buf, ref0, ref1, cx, cy, w, h, mv0, mv1)
+	} else {
+		predict.CompensateBi(buf, ref0, ref1, cx, cy, w, h, mv0, mv1)
+	}
+}
+
+func (fe *frameEncoder) motionSearch(cur, ref *frame.Frame, cx, cy, w, h int, seed predict.MV, sr int) (predict.MV, int) {
+	if fe.params.HalfPel {
+		return predict.MotionSearchHP(cur, ref, cx, cy, w, h, seed, sr)
+	}
+	return predict.MotionSearch(cur, ref, cx, cy, w, h, seed, sr)
+}
+
+func (fe *frameEncoder) footprint(cx, cy, w, h int, mv predict.MV) []predict.WeightedRef {
+	if fe.params.HalfPel {
+		return predict.FootprintHP(fe.orig.W, fe.orig.H, cx, cy, w, h, mv)
+	}
+	return predict.Footprint(fe.orig.W, fe.orig.H, cx, cy, w, h, mv)
+}
+
+func (fe *frameEncoder) refFrame(codedIdx int) *frame.Frame {
+	if codedIdx < 0 || codedIdx >= len(fe.recRefs) || fe.recRefs[codedIdx] == nil {
+		return nil
+	}
+	return fe.recRefs[codedIdx]
+}
+
+// interCandidate is one evaluated motion configuration.
+type interCandidate struct {
+	mbType int
+	rects  []predict.Rect
+	dirs   []int        // per partition (B frames)
+	mvF    []predict.MV // forward MV per partition (valid per dir)
+	mvB    []predict.MV // backward MV per partition
+	cost   int
+}
+
+func (fe *frameEncoder) encodeMB(mx, my int) MBRecord {
+	mbCols := fe.orig.MBCols()
+	mbIdx := my*mbCols + mx
+	rec := MBRecord{MB: frame.MB{X: mx, Y: my}}
+
+	qp := fe.mbQP(mx, my)
+	fe.qps[mbIdx] = qp
+
+	refF := fe.refFrame(fe.ef.RefFwd)
+	refB := fe.refFrame(fe.ef.RefBwd)
+	predMV := mvPrediction(fe.mvRep, fe.mvAvail, mx, my, mbCols, fe.sliceTop)
+
+	intraMode, intraPred, intraSAD := predict.BestIntraModeAvail(fe.orig, fe.rec, mx, my, my > fe.sliceTop, mx > 0)
+
+	var inter *interCandidate
+	if fe.ef.Type != FrameI && refF != nil {
+		inter = fe.searchInter(mx, my, predMV, refF, refB)
+	}
+
+	// Mode decision: intra carries a fixed penalty approximating its larger
+	// coded size; scene changes still select it.
+	const intraPenalty = 512
+	useIntra := fe.ef.Type == FrameI || inter == nil || intraSAD+intraPenalty < inter.cost
+
+	if useIntra {
+		fe.codeIntraMB(&rec, mx, my, intraMode, &intraPred, qp, mbIdx)
+		return rec
+	}
+	fe.codeInterMB(&rec, mx, my, inter, predMV, refF, refB, qp, mbIdx)
+	return rec
+}
+
+// mbQP selects this macroblock's quantizer: the frame base QP plus an
+// activity-driven offset when adaptive quantization is enabled.
+func (fe *frameEncoder) mbQP(mx, my int) int {
+	qp := fe.ef.BaseQP
+	if !fe.params.ActivityAQ {
+		return qp
+	}
+	px, py := mx*frame.MBSize, my*frame.MBSize
+	var sum, sum2 int64
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			v := int64(fe.orig.LumaAt(px+x, py+y))
+			sum += v
+			sum2 += v * v
+		}
+	}
+	mean := sum / 256
+	variance := sum2/256 - mean*mean
+	switch {
+	case variance > 2000:
+		qp += 2 // busy areas hide quantization noise
+	case variance < 100:
+		qp -= 2 // flat areas show banding; spend bits here
+	}
+	return transform.ClampQP(qp)
+}
+
+func (fe *frameEncoder) searchInter(mx, my int, predMV predict.MV, refF, refB *frame.Frame) *interCandidate {
+	px, py := mx*frame.MBSize, my*frame.MBSize
+	sr := fe.params.SearchRange
+	searchShape := func(shape predict.PartitionShape) *interCandidate {
+		rects := predict.PartitionRects(shape)
+		cand := &interCandidate{
+			mbType: shapeToMBType(shape),
+			rects:  rects,
+			dirs:   make([]int, len(rects)),
+			mvF:    make([]predict.MV, len(rects)),
+			mvB:    make([]predict.MV, len(rects)),
+		}
+		// Each extra partition costs bits; penalize finer shapes.
+		cand.cost = 24 * (len(rects) - 1)
+		seed := predMV
+		for i, r := range rects {
+			mvf, costF := fe.motionSearch(fe.orig, refF, px+r.X, py+r.Y, r.W, r.H, seed, sr)
+			dir, mv0, mv1, cost := dirFwd, mvf, predict.MV{}, costF
+			if fe.ef.Type == FrameB && refB != nil {
+				mvb, costB := fe.motionSearch(fe.orig, refB, px+r.X, py+r.Y, r.W, r.H, seed, sr)
+				if costB < cost {
+					dir, mv0, mv1, cost = dirBwd, mvb, predict.MV{}, costB
+				}
+				// Bi-prediction: average of both best vectors.
+				bi := make([]uint8, r.W*r.H)
+				fe.compensateBi(bi, refF, refB, px+r.X, py+r.Y, r.W, r.H, mvf, mvb)
+				biSAD := sadAgainst(fe.orig, px+r.X, py+r.Y, r.W, r.H, bi)
+				if biCost := biSAD + 8; biCost < cost {
+					dir, mv0, mv1, cost = dirBi, mvf, mvb, biCost
+				}
+			}
+			cand.dirs[i] = dir
+			cand.mvF[i] = mv0
+			cand.mvB[i] = mv1
+			cand.cost += cost
+			seed = mv0
+		}
+		return cand
+	}
+
+	best := searchShape(predict.Part16x16)
+	// Coarse-to-fine shape evaluation, pruned by per-pixel cost thresholds.
+	if best.cost > 256*3 {
+		for _, s := range []predict.PartitionShape{predict.Part16x8, predict.Part8x16} {
+			if c := searchShape(s); c.cost < best.cost {
+				best = c
+			}
+		}
+	}
+	if best.cost > 256*5 {
+		if c := searchShape(predict.Part8x8); c.cost < best.cost {
+			best = c
+		}
+	}
+	if best.cost > 256*8 {
+		for _, s := range []predict.PartitionShape{predict.Part8x4, predict.Part4x8, predict.Part4x4} {
+			if c := searchShape(s); c.cost < best.cost {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func sadAgainst(orig *frame.Frame, cx, cy, w, h int, pred []uint8) int {
+	sad := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(orig.LumaAt(cx+x, cy+y)) - int(pred[y*w+x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+func (fe *frameEncoder) codeIntraMB(rec *MBRecord, mx, my int, mode predict.IntraMode, pred *[256]uint8, qp, mbIdx int) {
+	rec.Intra = true
+	rec.QP = qp
+	if fe.ef.Type != FrameI {
+		fe.sw.PutUVal(entropy.ClassMBType, mbIntra)
+	}
+	fe.sw.PutUVal(entropy.ClassIntraMode, uint32(mode))
+	fe.codeDQP(mx, my, qp)
+
+	// Intra reference footprint: spatial dependency on neighbor MBs.
+	for _, wr := range predict.IntraFootprintAvail(mx, my, fe.orig.MBCols(), mode, my > fe.sliceTop, mx > 0) {
+		rec.Deps = append(rec.Deps, CompDep{SrcFrame: fe.ef.CodedIdx, SrcMB: wr.MB, Pixels: wr.Pixels})
+	}
+
+	// Chroma intra prediction.
+	var predCb, predCr [64]uint8
+	chromaIntraPredict(predCb[:], predCr[:], fe.rec, mx, my, my > fe.sliceTop, mx > 0)
+
+	fe.codeResidualAndReconstruct(mx, my, pred[:], predCb[:], predCr[:], qp, true)
+	fe.mvAvail[mbIdx] = false
+}
+
+func (fe *frameEncoder) codeInterMB(rec *MBRecord, mx, my int, cand *interCandidate, predMV predict.MV, refF, refB *frame.Frame, qp, mbIdx int) {
+	px, py := mx*frame.MBSize, my*frame.MBSize
+	mbCols := fe.orig.MBCols()
+
+	// Build the luma prediction and dependency footprints.
+	var predY [256]uint8
+	for i, r := range cand.rects {
+		buf := make([]uint8, r.W*r.H)
+		switch cand.dirs[i] {
+		case dirBwd:
+			fe.compensate(buf, refB, px+r.X, py+r.Y, r.W, r.H, cand.mvB[i])
+			fe.addDeps(rec, fe.ef.RefBwd, px+r.X, py+r.Y, r.W, r.H, cand.mvB[i], 1)
+		case dirBi:
+			fe.compensateBi(buf, refF, refB, px+r.X, py+r.Y, r.W, r.H, cand.mvF[i], cand.mvB[i])
+			fe.addDeps(rec, fe.ef.RefFwd, px+r.X, py+r.Y, r.W, r.H, cand.mvF[i], 2)
+			fe.addDeps(rec, fe.ef.RefBwd, px+r.X, py+r.Y, r.W, r.H, cand.mvB[i], 2)
+		default:
+			fe.compensate(buf, refF, px+r.X, py+r.Y, r.W, r.H, cand.mvF[i])
+			fe.addDeps(rec, fe.ef.RefFwd, px+r.X, py+r.Y, r.W, r.H, cand.mvF[i], 1)
+		}
+		for y := 0; y < r.H; y++ {
+			copy(predY[(r.Y+y)*16+r.X:(r.Y+y)*16+r.X+r.W], buf[y*r.W:(y+1)*r.W])
+		}
+	}
+
+	// Quantize the residual to test for skip (P frames, 16x16, no MV delta).
+	levels, allZero := fe.quantizeLuma(px, py, predY[:], qp, false)
+	var predCb, predCr [64]uint8
+	if cand.dirs[0] == dirBwd {
+		chromaInterPredict(predCb[:], predCr[:], refB, mx, my, cand.rects, cand.mvB, fe.mvDiv())
+	} else {
+		chromaInterPredict(predCb[:], predCr[:], refF, mx, my, cand.rects, cand.mvF, fe.mvDiv())
+	}
+	chromaLevels, chromaZero := fe.quantizeChroma(mx, my, predCb[:], predCr[:], qp, false)
+
+	canSkip := fe.ef.Type == FrameP && cand.mbType == mbInter16 &&
+		cand.mvF[0] == predMV && allZero && chromaZero
+	if canSkip {
+		fe.sw.PutUVal(entropy.ClassMBType, mbSkip)
+		// No delta-QP is coded for skip; encoder and decoder both fall back
+		// to the neighborhood prediction. The residual is zero, so the QP
+		// value itself does not affect reconstruction.
+		skipQP := qpPrediction(fe.qps, mx, my, mbCols, fe.ef.BaseQP, fe.sliceTop)
+		fe.qps[mbIdx] = skipQP
+		rec.QP = skipQP
+		fe.reconstructInter(mx, my, predY[:], predCb[:], predCr[:], levels, chromaLevels, skipQP)
+		fe.mvRep[mbIdx] = predMV
+		fe.mvAvail[mbIdx] = true
+		return
+	}
+
+	fe.sw.PutUVal(entropy.ClassMBType, uint32(cand.mbType))
+	prevMV := predMV
+	for i := range cand.rects {
+		if fe.ef.Type == FrameB {
+			fe.sw.PutUVal(entropy.ClassRefIdx, uint32(cand.dirs[i]))
+		}
+		switch cand.dirs[i] {
+		case dirBwd:
+			d := cand.mvB[i].Sub(prevMV)
+			fe.sw.PutSVal(entropy.ClassMVX, int32(d.X))
+			fe.sw.PutSVal(entropy.ClassMVY, int32(d.Y))
+			prevMV = cand.mvB[i]
+		case dirBi:
+			dF := cand.mvF[i].Sub(prevMV)
+			fe.sw.PutSVal(entropy.ClassMVX, int32(dF.X))
+			fe.sw.PutSVal(entropy.ClassMVY, int32(dF.Y))
+			dB := cand.mvB[i].Sub(cand.mvF[i])
+			fe.sw.PutSVal(entropy.ClassMVX, int32(dB.X))
+			fe.sw.PutSVal(entropy.ClassMVY, int32(dB.Y))
+			prevMV = cand.mvF[i]
+		default:
+			d := cand.mvF[i].Sub(prevMV)
+			fe.sw.PutSVal(entropy.ClassMVX, int32(d.X))
+			fe.sw.PutSVal(entropy.ClassMVY, int32(d.Y))
+			prevMV = cand.mvF[i]
+		}
+	}
+	fe.codeDQP(mx, my, qp)
+	rec.QP = qp
+
+	hasResidual := !(allZero && chromaZero)
+	fe.sw.PutFlag(entropy.ClassCBP, hasResidual)
+	if hasResidual {
+		for b := 0; b < 16; b++ {
+			writeResidualBlock(fe.sw, &levels[b])
+		}
+		for b := 0; b < 8; b++ {
+			writeResidualBlock(fe.sw, &chromaLevels[b])
+		}
+	}
+	fe.reconstructInter(mx, my, predY[:], predCb[:], predCr[:], levels, chromaLevels, qp)
+	fe.mvRep[mbIdx] = firstMV(cand)
+	fe.mvAvail[mbIdx] = true
+}
+
+func firstMV(cand *interCandidate) predict.MV {
+	if cand.dirs[0] == dirBwd {
+		return cand.mvB[0]
+	}
+	return cand.mvF[0]
+}
+
+// addDeps records compensation dependencies of a partition; share divides the
+// pixel weights (2 for bi-prediction, which draws half its content from each
+// reference).
+func (fe *frameEncoder) addDeps(rec *MBRecord, refCoded int, cx, cy, w, h int, mv predict.MV, share int) {
+	if refCoded < 0 {
+		return
+	}
+	for _, wr := range fe.footprint(cx, cy, w, h, mv) {
+		rec.Deps = append(rec.Deps, CompDep{SrcFrame: refCoded, SrcMB: wr.MB, Pixels: wr.Pixels / share})
+	}
+}
+
+func (fe *frameEncoder) codeDQP(mx, my, qp int) {
+	pred := qpPrediction(fe.qps, mx, my, fe.orig.MBCols(), fe.ef.BaseQP, fe.sliceTop)
+	fe.sw.PutSVal(entropy.ClassDQP, int32(qp-pred))
+}
+
+// quantizeLuma transforms and quantizes the 16 luma 4×4 blocks of the MB.
+func (fe *frameEncoder) quantizeLuma(px, py int, pred []uint8, qp int, intra bool) (levels [16]transform.Block, allZero bool) {
+	allZero = true
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var res transform.Block
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					ox, oy := bx*4+x, by*4+y
+					res[y*4+x] = int32(fe.orig.LumaAt(px+ox, py+oy)) - int32(pred[oy*16+ox])
+				}
+			}
+			lv := transform.QuantizeOnly(&res, qp, intra)
+			levels[by*4+bx] = lv
+			if lv != (transform.Block{}) {
+				allZero = false
+			}
+		}
+	}
+	return levels, allZero
+}
+
+// quantizeChroma quantizes the 4+4 chroma 4×4 blocks (Cb then Cr).
+func (fe *frameEncoder) quantizeChroma(mx, my int, predCb, predCr []uint8, qp int, intra bool) (levels [8]transform.Block, allZero bool) {
+	allZero = true
+	cx0, cy0 := mx*8, my*8
+	cw := fe.orig.W / 2
+	for plane := 0; plane < 2; plane++ {
+		src, prd := fe.orig.Cb, predCb
+		if plane == 1 {
+			src, prd = fe.orig.Cr, predCr
+		}
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				var res transform.Block
+				for y := 0; y < 4; y++ {
+					for x := 0; x < 4; x++ {
+						sx, sy := cx0+bx*4+x, cy0+by*4+y
+						i := (by*4+y)*8 + bx*4 + x
+						res[y*4+x] = int32(src[clampi(sy, fe.orig.H/2)*cw+clampi(sx, cw)]) - int32(prd[i])
+					}
+				}
+				lv := transform.QuantizeOnly(&res, qp, intra)
+				levels[plane*4+by*2+bx] = lv
+				if lv != (transform.Block{}) {
+					allZero = false
+				}
+			}
+		}
+	}
+	return levels, allZero
+}
+
+func clampi(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// reconstructInter reconstructs the macroblock into fe.rec from predictions
+// plus dequantized residuals, exactly as the decoder will.
+func (fe *frameEncoder) reconstructInter(mx, my int, predY, predCb, predCr []uint8, levels [16]transform.Block, chromaLevels [8]transform.Block, qp int) {
+	px, py := mx*frame.MBSize, my*frame.MBSize
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			recon := transform.Reconstruct(&levels[by*4+bx], qp)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					ox, oy := bx*4+x, by*4+y
+					fe.rec.SetLuma(px+ox, py+oy, frame.ClampU8(int(predY[oy*16+ox])+int(recon[y*4+x])))
+				}
+			}
+		}
+	}
+	fe.reconstructChroma(mx, my, predCb, predCr, chromaLevels, qp)
+}
+
+func (fe *frameEncoder) reconstructChroma(mx, my int, predCb, predCr []uint8, levels [8]transform.Block, qp int) {
+	cx0, cy0 := mx*8, my*8
+	cw, ch := fe.rec.W/2, fe.rec.H/2
+	for plane := 0; plane < 2; plane++ {
+		dst, prd := fe.rec.Cb, predCb
+		if plane == 1 {
+			dst, prd = fe.rec.Cr, predCr
+		}
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				recon := transform.Reconstruct(&levels[plane*4+by*2+bx], qp)
+				for y := 0; y < 4; y++ {
+					for x := 0; x < 4; x++ {
+						sx, sy := cx0+bx*4+x, cy0+by*4+y
+						if sx < cw && sy < ch {
+							i := (by*4+y)*8 + bx*4 + x
+							dst[sy*cw+sx] = frame.ClampU8(int(prd[i]) + int(recon[y*4+x]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// codeResidualAndReconstruct codes the full residual of an (intra) MB and
+// reconstructs it, sharing the CBP-flag convention with inter MBs.
+func (fe *frameEncoder) codeResidualAndReconstruct(mx, my int, predY, predCb, predCr []uint8, qp int, intra bool) {
+	px, py := mx*frame.MBSize, my*frame.MBSize
+	levels, allZero := fe.quantizeLuma(px, py, predY, qp, intra)
+	chromaLevels, chromaZero := fe.quantizeChroma(mx, my, predCb, predCr, qp, intra)
+	hasResidual := !(allZero && chromaZero)
+	fe.sw.PutFlag(entropy.ClassCBP, hasResidual)
+	if hasResidual {
+		for b := 0; b < 16; b++ {
+			writeResidualBlock(fe.sw, &levels[b])
+		}
+		for b := 0; b < 8; b++ {
+			writeResidualBlock(fe.sw, &chromaLevels[b])
+		}
+	}
+	fe.reconstructInter(mx, my, predY, predCb, predCr, levels, chromaLevels, qp)
+}

@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"testing"
+
+	"videoapp/internal/synth"
+)
+
+// Fuzz targets: the decoder and container parser must be total — any byte
+// sequence either decodes to a picture or returns an error, never panics.
+// Without -fuzz these run the seed corpus as regular tests.
+
+func fuzzSeedVideo(f *testing.F) *Video {
+	f.Helper()
+	cfg, _ := synth.PresetByName("crew_like")
+	seq := synth.Generate(cfg.ScaleTo(64, 48, 4))
+	p := DefaultParams()
+	p.GOPSize = 4
+	p.SearchRange = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return v
+}
+
+func FuzzDecodePayload(f *testing.F) {
+	v := fuzzSeedVideo(f)
+	f.Add(v.Frames[1].Payload)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		c := v.Clone()
+		c.Frames[1].Payload = payload
+		if _, err := Decode(c); err != nil {
+			t.Fatalf("decode must tolerate arbitrary payloads: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	v := fuzzSeedVideo(f)
+	f.Add(Marshal(v))
+	f.Add([]byte("VAPP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return // rejected is fine; panics are not
+		}
+		// Whatever parses must also decode safely.
+		if _, err := Decode(got); err != nil {
+			// Geometry or index errors are acceptable outcomes.
+			return
+		}
+	})
+}
+
+func FuzzCorruptSliceTables(f *testing.F) {
+	v := fuzzSeedVideo(f)
+	f.Add(0, 0)
+	f.Add(1000, -5)
+	f.Fuzz(func(t *testing.T, mbStart, byteStart int) {
+		c := v.Clone()
+		c.Frames[1].SliceMBStart = []int{0, mbStart}
+		c.Frames[1].SliceByteStart = []int{0, byteStart}
+		if _, err := Decode(c); err != nil {
+			t.Fatalf("decode must tolerate corrupt slice tables: %v", err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package codec
+
+import (
+	"testing"
+
+	"videoapp/internal/bitio"
+	"videoapp/internal/quality"
+)
+
+func TestHalfPelEncodeDecodeConsistency(t *testing.T) {
+	seq := testSeq(t, "parkrun_like", 96, 64, 12)
+	p := testParams()
+	p.HalfPel = true
+	_, dec := encodeDecode(t, seq, p)
+	psnr, _ := quality.PSNR(seq, dec)
+	if psnr < 28 {
+		t.Fatalf("half-pel decode PSNR %.2f dB", psnr)
+	}
+	// The real drift check: the last frame of the P chain.
+	last, _ := quality.PSNRFrame(seq.Frames[11], dec.Frames[11])
+	if last < 26 {
+		t.Fatalf("half-pel chain drifted: final frame %.2f dB", last)
+	}
+}
+
+func TestHalfPelImprovesSubPixelMotion(t *testing.T) {
+	// Shaky content with fractional effective motion: half-pel compensation
+	// should spend fewer bits and/or deliver better quality. Compare the
+	// rate-distortion product rather than either alone.
+	seq := testSeq(t, "handheld_like", 96, 64, 10)
+	score := func(halfpel bool) (float64, int64) {
+		p := testParams()
+		p.HalfPel = halfpel
+		v, err := Encode(seq, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, _ := quality.PSNR(seq, dec)
+		return psnr, v.TotalPayloadBits()
+	}
+	p0, b0 := score(false)
+	p1, b1 := score(true)
+	t.Logf("full-pel: %.2f dB / %d bits; half-pel: %.2f dB / %d bits", p0, b0, p1, b1)
+	// Half-pel must not be strictly worse on both axes.
+	if p1 < p0-0.05 && b1 > b0 {
+		t.Fatalf("half-pel worse on both rate and distortion")
+	}
+}
+
+func TestHalfPelContainerRoundTrip(t *testing.T) {
+	seq := testSeq(t, "crew_like", 64, 48, 5)
+	p := testParams()
+	p.HalfPel = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(Marshal(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Params.HalfPel {
+		t.Fatal("half-pel flag lost")
+	}
+	a, _ := Decode(v)
+	b, _ := Decode(got)
+	for i := range a.Frames {
+		for j := range a.Frames[i].Y {
+			if a.Frames[i].Y[j] != b.Frames[i].Y[j] {
+				t.Fatal("container decode differs")
+			}
+		}
+	}
+}
+
+func TestHalfPelReanalyzeRecoversDeps(t *testing.T) {
+	seq := testSeq(t, "crew_like", 64, 48, 6)
+	p := testParams()
+	p.HalfPel = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := Unmarshal(Marshal(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Reanalyze(stripped); err != nil {
+		t.Fatal(err)
+	}
+	for fi, ef := range v.Frames {
+		for mi, want := range ef.MBs {
+			got := stripped.Frames[fi].MBs[mi]
+			if len(got.Deps) != len(want.Deps) {
+				t.Fatalf("frame %d MB %d: %d deps vs %d", fi, mi, len(got.Deps), len(want.Deps))
+			}
+			for d := range want.Deps {
+				if got.Deps[d] != want.Deps[d] {
+					t.Fatalf("frame %d MB %d dep %d: %+v vs %+v", fi, mi, d, got.Deps[d], want.Deps[d])
+				}
+			}
+		}
+	}
+}
+
+func TestHalfPelCorruptionSafety(t *testing.T) {
+	seq := testSeq(t, "sports_like", 64, 48, 5)
+	p := testParams()
+	p.HalfPel = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		c := v.Clone()
+		for _, f := range c.Frames {
+			bitio.FlipBit(f.Payload, int64(trial*53)%f.PayloadBits())
+		}
+		if _, err := Decode(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHalfPelAnalysisMonotone(t *testing.T) {
+	seq := testSeq(t, "parkrun_like", 96, 64, 8)
+	p := testParams()
+	p.HalfPel = true
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies must stay in-range and pixel counts conserved per MB.
+	for _, f := range v.Frames {
+		for _, mb := range f.MBs {
+			for _, d := range mb.Deps {
+				if d.Pixels <= 0 || d.Pixels > 256 {
+					t.Fatalf("dep pixels %d", d.Pixels)
+				}
+				if d.SrcMB.X < 0 || d.SrcMB.X >= v.MBCols() || d.SrcMB.Y < 0 || d.SrcMB.Y >= v.MBRows() {
+					t.Fatalf("dep MB out of range: %+v", d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package codec
+
+import (
+	"fmt"
+
+	"videoapp/internal/bitio"
+	"videoapp/internal/frame"
+	"videoapp/internal/transform"
+)
+
+// SNR-scalable (layered) coding, the extension sketched in the paper's
+// related-work discussion: "videos could be also encoded in a layered way,
+// where each layer refines the quality produced by the previous... Our work
+// focuses on approximation within a layer, and is trivially extensible to
+// multiple layers by adding another dimension of approximation."
+//
+// The base layer is an ordinary Video. The enhancement layer codes, per
+// frame, the residual between the source and the base reconstruction at a
+// finer quantizer. Crucially, the prediction loop uses only base-layer
+// reconstructions (MPEG-2-style SNR scalability without drift), so
+// enhancement bits are never referenced by anything: an error there damages
+// exactly one frame's refinement — the maximally approximable class.
+
+// LayeredVideo is a base layer plus an optional enhancement layer.
+type LayeredVideo struct {
+	Base *Video
+	// EnhQPDelta is subtracted from each macroblock's base QP to form the
+	// enhancement quantizer.
+	EnhQPDelta int
+	// Enh[i] is the enhancement payload for coded frame i.
+	Enh [][]byte
+	// EnhMBs[i] are the enhancement bit ranges per macroblock (scan order),
+	// the analysis records for the enhancement dimension.
+	EnhMBs [][]MBRecord
+}
+
+// EncodeLayered produces a two-layer encoding: p configures the base layer,
+// enhQPDelta (> 0) how much finer the enhancement quantizer is.
+func EncodeLayered(seq *frame.Sequence, p Params, enhQPDelta int) (*LayeredVideo, error) {
+	if enhQPDelta < 1 || enhQPDelta > 20 {
+		return nil, fmt.Errorf("codec: enhancement QP delta %d outside 1..20", enhQPDelta)
+	}
+	base, err := Encode(seq, p)
+	if err != nil {
+		return nil, err
+	}
+	baseRecs, err := DecodeRecs(base)
+	if err != nil {
+		return nil, err
+	}
+	lv := &LayeredVideo{Base: base, EnhQPDelta: enhQPDelta}
+	for i, ef := range base.Frames {
+		orig := seq.Frames[ef.DisplayIdx]
+		payload, mbs := encodeEnhFrame(orig, baseRecs[i], ef, p, enhQPDelta)
+		lv.Enh = append(lv.Enh, payload)
+		lv.EnhMBs = append(lv.EnhMBs, mbs)
+	}
+	return lv, nil
+}
+
+// encodeEnhFrame codes the luma refinement residual of one frame.
+func encodeEnhFrame(orig, baseRec *frame.Frame, ef *EncodedFrame, p Params, delta int) ([]byte, []MBRecord) {
+	w := bitio.NewWriter()
+	sw := newSymbolWriter(p.Entropy, w)
+	mbCols, mbRows := orig.MBCols(), orig.MBRows()
+	var mbs []MBRecord
+	for my := 0; my < mbRows; my++ {
+		for mx := 0; mx < mbCols; mx++ {
+			start := sw.BitPos()
+			mbQP := ef.BaseQP
+			if idx := my*mbCols + mx; idx < len(ef.MBs) {
+				mbQP = ef.MBs[idx].QP
+			}
+			qp := transform.ClampQP(mbQP - delta)
+			px, py := mx*frame.MBSize, my*frame.MBSize
+			for by := 0; by < 4; by++ {
+				for bx := 0; bx < 4; bx++ {
+					var res transform.Block
+					for y := 0; y < 4; y++ {
+						for x := 0; x < 4; x++ {
+							ox, oy := px+bx*4+x, py+by*4+y
+							res[y*4+x] = int32(orig.LumaAt(ox, oy)) - int32(baseRec.LumaAt(ox, oy))
+						}
+					}
+					lv := transform.QuantizeOnly(&res, qp, false)
+					writeResidualBlock(sw, &lv)
+				}
+			}
+			mbs = append(mbs, MBRecord{
+				MB:       frame.MB{X: mx, Y: my},
+				BitStart: start,
+				BitLen:   sw.BitPos() - start,
+				QP:       qp,
+			})
+		}
+	}
+	sw.Flush()
+	if n := len(mbs); n > 0 {
+		mbs[n-1].BitLen = int64(w.Len())*8 - mbs[n-1].BitStart
+	}
+	return w.Bytes(), mbs
+}
+
+// DecodeLayered decodes the base layer and applies the enhancement
+// refinements. Corrupt enhancement payloads damage only their own frame's
+// refinement; the base reconstruction is untouched.
+func DecodeLayered(lv *LayeredVideo) (*frame.Sequence, error) {
+	baseRecs, err := DecodeRecs(lv.Base)
+	if err != nil {
+		return nil, err
+	}
+	if len(lv.Enh) != len(lv.Base.Frames) {
+		return nil, fmt.Errorf("codec: %d enhancement frames for %d base frames", len(lv.Enh), len(lv.Base.Frames))
+	}
+	out := make([]*frame.Frame, len(baseRecs))
+	for i, ef := range lv.Base.Frames {
+		out[i] = applyEnhFrame(baseRecs[i], lv.Enh[i], ef, lv.Base.Params, lv.EnhQPDelta)
+	}
+	return RecsToDisplay(lv.Base, out)
+}
+
+func applyEnhFrame(baseRec *frame.Frame, payload []byte, ef *EncodedFrame, p Params, delta int) *frame.Frame {
+	rec := baseRec.Clone()
+	sr := newSymbolReader(p.Entropy, bitio.NewReader(payload))
+	mbCols, mbRows := rec.MBCols(), rec.MBRows()
+	for my := 0; my < mbRows; my++ {
+		for mx := 0; mx < mbCols; mx++ {
+			// Containers do not persist MB records; fall back to the frame
+			// base QP (Reanalyze restores the exact per-MB values).
+			mbQP := ef.BaseQP
+			if idx := my*mbCols + mx; idx < len(ef.MBs) {
+				mbQP = ef.MBs[idx].QP
+			}
+			qp := transform.ClampQP(mbQP - delta)
+			px, py := mx*frame.MBSize, my*frame.MBSize
+			for by := 0; by < 4; by++ {
+				for bx := 0; bx < 4; bx++ {
+					lv := readResidualBlock(sr)
+					recon := transform.Reconstruct(&lv, qp)
+					for y := 0; y < 4; y++ {
+						for x := 0; x < 4; x++ {
+							ox, oy := px+bx*4+x, py+by*4+y
+							rec.SetLuma(ox, oy, frame.ClampU8(int(rec.LumaAt(ox, oy))+int(recon[y*4+x])))
+						}
+					}
+				}
+			}
+		}
+	}
+	return rec
+}
+
+// EnhBits returns the total enhancement payload size in bits.
+func (lv *LayeredVideo) EnhBits() int64 {
+	var n int64
+	for _, p := range lv.Enh {
+		n += int64(len(p)) * 8
+	}
+	return n
+}

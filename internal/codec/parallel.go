@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"videoapp/internal/frame"
+)
+
+// EncodeParallel encodes GOPs concurrently and produces a video bit-exactly
+// identical to Encode. It requires a closed-GOP structure (BFrames == 0):
+// every GOP then starts with an I frame and references only frames within
+// itself, so GOPs are independent units of work. workers <= 0 selects
+// GOMAXPROCS.
+func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.BFrames != 0 {
+		return nil, fmt.Errorf("codec: parallel encoding requires BFrames == 0 (open GOPs are not independent)")
+	}
+	if len(seq.Frames) == 0 {
+		return nil, fmt.Errorf("codec: empty sequence")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Chunk the display frames into GOPs.
+	type chunk struct {
+		start int // display index of the chunk's I frame
+		end   int // exclusive
+	}
+	var chunks []chunk
+	for s := 0; s < len(seq.Frames); s += p.GOPSize {
+		e := s + p.GOPSize
+		if e > len(seq.Frames) {
+			e = len(seq.Frames)
+		}
+		chunks = append(chunks, chunk{start: s, end: e})
+	}
+
+	videos := make([]*Video, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ci, ch := range chunks {
+		wg.Add(1)
+		go func(ci int, ch chunk) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := &frame.Sequence{Name: seq.Name, FPS: seq.FPS, Frames: seq.Frames[ch.start:ch.end]}
+			videos[ci], errs[ci] = Encode(sub, p)
+		}(ci, ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stitch: shift frame indices and dependency references by the chunk's
+	// base position.
+	out := &Video{Params: p, W: seq.W(), H: seq.H(), FPS: seq.FPS}
+	base := 0
+	for ci, v := range videos {
+		for _, f := range v.Frames {
+			f.CodedIdx += base
+			f.DisplayIdx += base
+			if f.RefFwd >= 0 {
+				f.RefFwd += base
+			}
+			if f.RefBwd >= 0 {
+				f.RefBwd += base
+			}
+			for i := range f.MBs {
+				for d := range f.MBs[i].Deps {
+					f.MBs[i].Deps[d].SrcFrame += base
+				}
+			}
+			out.Frames = append(out.Frames, f)
+		}
+		base += chunks[ci].end - chunks[ci].start
+	}
+	return out, nil
+}

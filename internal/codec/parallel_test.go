@@ -1,0 +1,91 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeParallelBitExact(t *testing.T) {
+	seq := testSeq(t, "crew_like", 96, 64, 25)
+	p := testParams()
+	p.GOPSize = 8
+	serial, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EncodeParallel(seq, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel.Frames) != len(serial.Frames) {
+		t.Fatalf("frame count %d vs %d", len(parallel.Frames), len(serial.Frames))
+	}
+	for i := range serial.Frames {
+		a, b := serial.Frames[i], parallel.Frames[i]
+		if a.Type != b.Type || a.CodedIdx != b.CodedIdx || a.DisplayIdx != b.DisplayIdx ||
+			a.RefFwd != b.RefFwd || a.RefBwd != b.RefBwd {
+			t.Fatalf("frame %d header mismatch: %+v vs %+v", i, a.Type, b.Type)
+		}
+		if !bytes.Equal(a.Payload, b.Payload) {
+			t.Fatalf("frame %d payload differs", i)
+		}
+		if len(a.MBs) != len(b.MBs) {
+			t.Fatalf("frame %d MB records", i)
+		}
+		for m := range a.MBs {
+			if a.MBs[m].BitStart != b.MBs[m].BitStart || len(a.MBs[m].Deps) != len(b.MBs[m].Deps) {
+				t.Fatalf("frame %d MB %d records differ", i, m)
+			}
+			for d := range a.MBs[m].Deps {
+				if a.MBs[m].Deps[d] != b.MBs[m].Deps[d] {
+					t.Fatalf("frame %d MB %d dep %d differs", i, m, d)
+				}
+			}
+		}
+	}
+	// Decodes identically too.
+	da, _ := Decode(serial)
+	db, _ := Decode(parallel)
+	for i := range da.Frames {
+		if !bytes.Equal(da.Frames[i].Y, db.Frames[i].Y) {
+			t.Fatalf("decoded frame %d differs", i)
+		}
+	}
+}
+
+func TestEncodeParallelRejectsBFrames(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 6)
+	p := testParams()
+	p.BFrames = 2
+	if _, err := EncodeParallel(seq, p, 2); err == nil {
+		t.Fatal("open GOPs must be rejected")
+	}
+}
+
+func TestEncodeParallelPartialFinalGOP(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 10) // 10 frames, GOP 8 -> 8+2
+	p := testParams()
+	p.GOPSize = 8
+	v, err := EncodeParallel(seq, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 10 {
+		t.Fatalf("%d frames", len(v.Frames))
+	}
+	if v.Frames[8].Type != FrameI {
+		t.Fatal("second GOP must start with I")
+	}
+}
+
+func BenchmarkEncodeParallel(b *testing.B) {
+	seq := testSeq(b, "crew_like", 176, 144, 24)
+	p := testParams()
+	p.GOPSize = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeParallel(seq, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

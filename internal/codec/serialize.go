@@ -1,0 +1,177 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"videoapp/internal/bitio"
+)
+
+// Container format: a compact serialization of an encoded video. The layout
+// mirrors the storage system's reliability split — a precisely-stored
+// sequence header and per-frame headers, followed by the approximable
+// entropy-coded payloads.
+//
+//	magic "VAPP" | version | sequence header | per frame: header || payload
+//
+// Per-macroblock analysis records are not persisted: they are encoder-side
+// artifacts; a container consumer decodes with the headers alone.
+
+var containerMagic = [4]byte{'V', 'A', 'P', 'P'}
+
+const containerVersion = 1
+
+// Marshal serializes the video into a self-contained byte stream.
+func Marshal(v *Video) []byte {
+	w := bitio.NewWriter()
+	for _, b := range containerMagic {
+		w.WriteBits(uint64(b), 8)
+	}
+	w.WriteBits(containerVersion, 8)
+	w.WriteUE(uint32(v.W))
+	w.WriteUE(uint32(v.H))
+	w.WriteUE(uint32(v.FPS))
+	p := v.Params
+	w.WriteUE(uint32(p.CRF))
+	w.WriteUE(uint32(p.GOPSize))
+	w.WriteUE(uint32(p.BFrames))
+	w.WriteBool(p.BReference)
+	w.WriteBits(uint64(p.Entropy), 2)
+	w.WriteUE(uint32(p.SearchRange))
+	w.WriteBool(p.ActivityAQ)
+	w.WriteUE(uint32(p.SlicesPerFrame))
+	w.WriteBool(p.Deblock)
+	w.WriteBool(p.HalfPel)
+	w.WriteUE(uint32(len(v.Frames)))
+	w.AlignByte()
+	out := w.Bytes()
+	for _, f := range v.Frames {
+		hdr := marshalHeader(f)
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, hdr...)
+		out = append(out, f.Payload...)
+	}
+	return out
+}
+
+// Unmarshal parses a container produced by Marshal. The returned video
+// decodes identically to the original; per-macroblock analysis records are
+// not restored (run the encoder or an analysis pass to regenerate them).
+func Unmarshal(data []byte) (*Video, error) {
+	r := bitio.NewReader(data)
+	for _, want := range containerMagic {
+		b, err := r.ReadBits(8)
+		if err != nil || byte(b) != want {
+			return nil, fmt.Errorf("codec: bad container magic")
+		}
+	}
+	ver, err := r.ReadBits(8)
+	if err != nil || ver != containerVersion {
+		return nil, fmt.Errorf("codec: unsupported container version %d", ver)
+	}
+	v := &Video{}
+	var fields []uint32
+	for i := 0; i < 3; i++ {
+		u, err := r.ReadUE()
+		if err != nil {
+			return nil, fmt.Errorf("codec: truncated sequence header")
+		}
+		fields = append(fields, u)
+	}
+	v.W, v.H, v.FPS = int(fields[0]), int(fields[1]), int(fields[2])
+	crf, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	gop, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	bf, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	bref, err := r.ReadBool()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	ent, err := r.ReadBits(2)
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	sr, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	aq, err := r.ReadBool()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	slices, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	deblock, err := r.ReadBool()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	halfpel, err := r.ReadBool()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	nFrames, err := r.ReadUE()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	v.Params = Params{
+		CRF: int(crf), GOPSize: int(gop), BFrames: int(bf), BReference: bref,
+		Entropy: EntropyKind(ent), SearchRange: int(sr), ActivityAQ: aq,
+		SlicesPerFrame: int(slices), Deblock: deblock, HalfPel: halfpel,
+	}
+	if err := v.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: container params invalid: %w", err)
+	}
+	if v.W <= 0 || v.H <= 0 || v.W%16 != 0 || v.H%16 != 0 {
+		return nil, errFrameGeometry(v.W, v.H)
+	}
+	if nFrames > 1<<20 {
+		return nil, fmt.Errorf("codec: implausible frame count %d", nFrames)
+	}
+	r.AlignByte()
+	pos := int(r.BitPos() / 8)
+	for i := uint32(0); i < nFrames; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("codec: truncated at frame %d", i)
+		}
+		hdrLen := int(binary.BigEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if hdrLen <= 0 || pos+hdrLen > len(data) {
+			return nil, fmt.Errorf("codec: bad header length at frame %d", i)
+		}
+		f := &EncodedFrame{}
+		payloadLen, err := unmarshalHeader(data[pos:pos+hdrLen], f)
+		if err != nil {
+			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
+		}
+		pos += hdrLen
+		if payloadLen < 0 || pos+payloadLen > len(data) {
+			return nil, fmt.Errorf("codec: truncated payload at frame %d", i)
+		}
+		f.Payload = append([]byte(nil), data[pos:pos+payloadLen]...)
+		pos += payloadLen
+		if f.DisplayIdx >= int(nFrames) || f.CodedIdx != int(i) {
+			return nil, fmt.Errorf("codec: inconsistent frame indices at frame %d", i)
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("codec: %d trailing bytes", len(data)-pos)
+	}
+	return v, nil
+}
+
+func errTruncated(err error) error {
+	return fmt.Errorf("codec: truncated container: %w", err)
+}

@@ -1,0 +1,158 @@
+package codec
+
+import (
+	"testing"
+
+	"videoapp/internal/quality"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	seq := testSeq(t, "crew_like", 96, 64, 8)
+	p := testParams()
+	p.SlicesPerFrame = 2
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(v)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != v.W || got.H != v.H || got.FPS != v.FPS {
+		t.Fatal("geometry")
+	}
+	if got.Params != v.Params {
+		t.Fatalf("params %+v vs %+v", got.Params, v.Params)
+	}
+	if len(got.Frames) != len(v.Frames) {
+		t.Fatal("frame count")
+	}
+	for i := range v.Frames {
+		a, b := v.Frames[i], got.Frames[i]
+		if a.Type != b.Type || a.DisplayIdx != b.DisplayIdx || a.BaseQP != b.BaseQP ||
+			a.RefFwd != b.RefFwd || a.RefBwd != b.RefBwd {
+			t.Fatalf("frame %d header mismatch", i)
+		}
+		if len(a.Payload) != len(b.Payload) {
+			t.Fatalf("frame %d payload length", i)
+		}
+		for j := range a.Payload {
+			if a.Payload[j] != b.Payload[j] {
+				t.Fatalf("frame %d payload byte %d", i, j)
+			}
+		}
+	}
+}
+
+func TestContainerDecodesIdentically(t *testing.T) {
+	seq := testSeq(t, "parkrun_like", 96, 64, 6)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(Marshal(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := quality.PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr != quality.MaxPSNR {
+		t.Fatalf("container round trip must decode identically, PSNR %.2f", psnr)
+	}
+}
+
+func TestContainerRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{'V', 'A', 'P'},
+		{'X', 'A', 'P', 'P', 1},
+		{'V', 'A', 'P', 'P', 99}, // bad version
+		append([]byte{'V', 'A', 'P', 'P', 1}, make([]byte, 3)...), // truncated header
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d must be rejected", i)
+		}
+	}
+}
+
+func TestContainerRejectsTruncation(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 4)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(v)
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 10} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d must be rejected", cut)
+		}
+	}
+}
+
+func TestContainerRejectsTrailingBytes(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 3)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append(Marshal(v), 0xEE)
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestContainerCompactness(t *testing.T) {
+	// The container's framing overhead must be small relative to payload.
+	seq := testSeq(t, "crew_like", 96, 64, 10)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload int
+	for _, f := range v.Frames {
+		payload += len(f.Payload)
+	}
+	framing := len(Marshal(v)) - payload
+	if framing > payload/5+200 {
+		t.Fatalf("framing %d bytes for %d payload bytes", framing, payload)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	seq := testSeq(b, "crew_like", 176, 144, 10)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Marshal(v)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	seq := testSeq(b, "crew_like", 176, 144, 10)
+	v, err := Encode(seq, testParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := Marshal(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

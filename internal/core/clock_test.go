@@ -1,0 +1,7 @@
+package core
+
+import "time"
+
+// testingNano isolates the wall clock so tests depending on relative timing
+// have a single seam.
+func testingNano() int64 { return time.Now().UnixNano() }

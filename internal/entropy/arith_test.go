@@ -1,0 +1,234 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+
+	"videoapp/internal/bitio"
+)
+
+func TestArithRoundTripSingleContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]int, 5000)
+	for i := range bits {
+		// Biased source: mostly zeros, which the context should learn.
+		if rng.Float64() < 0.85 {
+			bits[i] = 0
+		} else {
+			bits[i] = 1
+		}
+	}
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ectx Context
+	for _, b := range bits {
+		enc.EncodeBit(&ectx, b)
+	}
+	enc.Flush()
+
+	dec := NewDecoder(bitio.NewReader(w.Bytes()))
+	var dctx Context
+	for i, want := range bits {
+		if got := dec.DecodeBit(&dctx); got != want {
+			t.Fatalf("bit %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestArithCompressesBiasedSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ctx Context
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Float64() < 0.05 {
+			b = 1
+		}
+		enc.EncodeBit(&ctx, b)
+	}
+	enc.Flush()
+	// Entropy of p=0.05 is ~0.286 bits/symbol; the adaptive coder should
+	// get well below 0.5 bits/symbol.
+	if got := w.BitPos(); got > n/2 {
+		t.Fatalf("coded %d bits for %d symbols; no compression achieved", got, n)
+	}
+}
+
+func TestArithBypassRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]int, 3000)
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		enc.EncodeBypass(bits[i])
+	}
+	enc.Flush()
+	dec := NewDecoder(bitio.NewReader(w.Bytes()))
+	for i, want := range bits {
+		if got := dec.DecodeBypass(); got != want {
+			t.Fatalf("bypass bit %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestArithMixedContextAndBypass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	type sym struct {
+		bit    int
+		bypass bool
+		ctx    int
+	}
+	syms := make([]sym, 8000)
+	for i := range syms {
+		syms[i] = sym{bit: rng.Intn(2), bypass: rng.Intn(3) == 0, ctx: rng.Intn(5)}
+		if !syms[i].bypass && rng.Float64() < 0.7 {
+			syms[i].bit = 0
+		}
+	}
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	ectx := make([]Context, 5)
+	for _, s := range syms {
+		if s.bypass {
+			enc.EncodeBypass(s.bit)
+		} else {
+			enc.EncodeBit(&ectx[s.ctx], s.bit)
+		}
+	}
+	enc.Flush()
+	dec := NewDecoder(bitio.NewReader(w.Bytes()))
+	dctx := make([]Context, 5)
+	for i, s := range syms {
+		var got int
+		if s.bypass {
+			got = dec.DecodeBypass()
+		} else {
+			got = dec.DecodeBit(&dctx[s.ctx])
+		}
+		if got != s.bit {
+			t.Fatalf("symbol %d: got %d, want %d", i, got, s.bit)
+		}
+	}
+	if dec.Overruns() > 16 {
+		t.Fatalf("%d overruns on a clean stream", dec.Overruns())
+	}
+}
+
+func TestBitFlipDesynchronizesDecoder(t *testing.T) {
+	// The motivating failure mode: one flipped bit early in the stream
+	// should corrupt a large fraction of subsequently decoded symbols.
+	rng := rand.New(rand.NewSource(5))
+	bits := make([]int, 4000)
+	for i := range bits {
+		if rng.Float64() < 0.8 {
+			bits[i] = 0
+		} else {
+			bits[i] = 1
+		}
+	}
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ectx Context
+	for _, b := range bits {
+		enc.EncodeBit(&ectx, b)
+	}
+	enc.Flush()
+	buf := append([]byte(nil), w.Bytes()...)
+	bitio.FlipBit(buf, 20)
+
+	dec := NewDecoder(bitio.NewReader(buf))
+	var dctx Context
+	wrong := 0
+	for _, want := range bits {
+		if dec.DecodeBit(&dctx) != want {
+			wrong++
+		}
+	}
+	if wrong < len(bits)/20 {
+		t.Fatalf("only %d/%d symbols wrong after an early bit flip; decoder did not desync", wrong, len(bits))
+	}
+}
+
+func TestDecoderToleratesTruncation(t *testing.T) {
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ctx Context
+	for i := 0; i < 1000; i++ {
+		enc.EncodeBit(&ctx, i%3%2)
+	}
+	enc.Flush()
+	buf := w.Bytes()[:4] // drastic truncation
+	dec := NewDecoder(bitio.NewReader(buf))
+	var dctx Context
+	for i := 0; i < 1000; i++ {
+		dec.DecodeBit(&dctx) // must not panic
+	}
+	if dec.Overruns() == 0 {
+		t.Fatal("truncation must be observable via Overruns")
+	}
+}
+
+func TestStateTablesSane(t *testing.T) {
+	for s := 0; s < numStates; s++ {
+		for q := 0; q < 4; q++ {
+			if rangeLPS[s][q] < 2 || rangeLPS[s][q] > 256 {
+				t.Fatalf("rangeLPS[%d][%d] = %d out of range", s, q, rangeLPS[s][q])
+			}
+			if q > 0 && rangeLPS[s][q] < rangeLPS[s][q-1] {
+				t.Fatalf("rangeLPS[%d] not monotone in q", s)
+			}
+		}
+		if s > 0 && rangeLPS[s][0] > rangeLPS[s-1][0] {
+			t.Fatalf("rangeLPS[.][0] not monotone in state")
+		}
+		if int(nextMPS[s]) < s && s != numStates-1 {
+			t.Fatalf("MPS transition must not decrease confidence: state %d -> %d", s, nextMPS[s])
+		}
+		if int(nextLPS[s]) > s {
+			t.Fatalf("LPS transition must not increase confidence: state %d -> %d", s, nextLPS[s])
+		}
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ctx Context
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			w.Reset()
+			enc = NewEncoder(w)
+		}
+		enc.EncodeBit(&ctx, i&1)
+	}
+}
+
+func BenchmarkDecodeBit(b *testing.B) {
+	w := bitio.NewWriter()
+	enc := NewEncoder(w)
+	var ctx Context
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bit := 0
+		if rng.Float64() < 0.3 {
+			bit = 1
+		}
+		enc.EncodeBit(&ctx, bit)
+	}
+	enc.Flush()
+	buf := w.Bytes()
+	b.ResetTimer()
+	var dec *Decoder
+	var dctx Context
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			dec = NewDecoder(bitio.NewReader(buf))
+			dctx = Context{}
+		}
+		dec.DecodeBit(&dctx)
+	}
+}

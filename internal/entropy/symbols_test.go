@@ -1,0 +1,239 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"videoapp/internal/bitio"
+)
+
+// backends builds a fresh writer plus a reader constructor for each backend.
+func backends() map[string]struct {
+	newW func(*bitio.Writer) SymbolWriter
+	newR func(*bitio.Reader) SymbolReader
+} {
+	return map[string]struct {
+		newW func(*bitio.Writer) SymbolWriter
+		newR func(*bitio.Reader) SymbolReader
+	}{
+		"cabac": {
+			newW: func(w *bitio.Writer) SymbolWriter { return NewCABACWriter(w) },
+			newR: func(r *bitio.Reader) SymbolReader { return NewCABACReader(r) },
+		},
+		"cavlc": {
+			newW: func(w *bitio.Writer) SymbolWriter { return NewCAVLCWriter(w) },
+			newR: func(r *bitio.Reader) SymbolReader { return NewCAVLCReader(r) },
+		},
+	}
+}
+
+type symEvent struct {
+	kind  int // 0=uval, 1=sval, 2=flag
+	class SyntaxClass
+	uval  uint32
+	sval  int32
+	flag  bool
+}
+
+func randomEvents(rng *rand.Rand, n int) []symEvent {
+	evs := make([]symEvent, n)
+	for i := range evs {
+		ev := symEvent{kind: rng.Intn(3), class: SyntaxClass(rng.Intn(int(numClasses)))}
+		switch ev.kind {
+		case 0:
+			// Mix of small (common) and large (rare) values.
+			if rng.Intn(10) == 0 {
+				ev.uval = uint32(rng.Intn(100000))
+			} else {
+				ev.uval = uint32(rng.Intn(8))
+			}
+		case 1:
+			ev.sval = int32(rng.Intn(2001) - 1000)
+		case 2:
+			ev.flag = rng.Intn(2) == 0
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+func TestSymbolRoundTripBothBackends(t *testing.T) {
+	for name, be := range backends() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			evs := randomEvents(rng, 5000)
+			w := bitio.NewWriter()
+			sw := be.newW(w)
+			for _, ev := range evs {
+				switch ev.kind {
+				case 0:
+					sw.PutUVal(ev.class, ev.uval)
+				case 1:
+					sw.PutSVal(ev.class, ev.sval)
+				case 2:
+					sw.PutFlag(ev.class, ev.flag)
+				}
+			}
+			sw.Flush()
+			sr := be.newR(bitio.NewReader(w.Bytes()))
+			for i, ev := range evs {
+				switch ev.kind {
+				case 0:
+					if got := sr.GetUVal(ev.class); got != ev.uval {
+						t.Fatalf("event %d: uval %d, want %d", i, got, ev.uval)
+					}
+				case 1:
+					if got := sr.GetSVal(ev.class); got != ev.sval {
+						t.Fatalf("event %d: sval %d, want %d", i, got, ev.sval)
+					}
+				case 2:
+					if got := sr.GetFlag(ev.class); got != ev.flag {
+						t.Fatalf("event %d: flag %v, want %v", i, got, ev.flag)
+					}
+				}
+			}
+			if sr.Desynced() {
+				t.Fatal("clean stream must not be flagged desynced")
+			}
+		})
+	}
+}
+
+func TestSymbolRoundTripProperty(t *testing.T) {
+	for name, be := range backends() {
+		t.Run(name, func(t *testing.T) {
+			prop := func(seed int64, n uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				evs := randomEvents(rng, int(n)%64+1)
+				w := bitio.NewWriter()
+				sw := be.newW(w)
+				for _, ev := range evs {
+					switch ev.kind {
+					case 0:
+						sw.PutUVal(ev.class, ev.uval)
+					case 1:
+						sw.PutSVal(ev.class, ev.sval)
+					case 2:
+						sw.PutFlag(ev.class, ev.flag)
+					}
+				}
+				sw.Flush()
+				sr := be.newR(bitio.NewReader(w.Bytes()))
+				for _, ev := range evs {
+					switch ev.kind {
+					case 0:
+						if sr.GetUVal(ev.class) != ev.uval {
+							return false
+						}
+					case 1:
+						if sr.GetSVal(ev.class) != ev.sval {
+							return false
+						}
+					case 2:
+						if sr.GetFlag(ev.class) != ev.flag {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCABACBeatsOrMatchesCAVLCOnSkewedData(t *testing.T) {
+	// CABAC's raison d'être (and why the paper accepts its fragility):
+	// better compression on predictable data.
+	rng := rand.New(rand.NewSource(13))
+	vals := make([]uint32, 20000)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(3)) // heavily skewed small values
+	}
+	wa, wv := bitio.NewWriter(), bitio.NewWriter()
+	ca, cv := NewCABACWriter(wa), NewCAVLCWriter(wv)
+	for _, v := range vals {
+		ca.PutUVal(ClassCoeffLevel, v)
+		cv.PutUVal(ClassCoeffLevel, v)
+	}
+	ca.Flush()
+	cv.Flush()
+	if wa.BitPos() >= wv.BitPos() {
+		t.Fatalf("CABAC %d bits >= CAVLC %d bits on skewed data", wa.BitPos(), wv.BitPos())
+	}
+}
+
+func TestCABACDesyncAfterFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := bitio.NewWriter()
+	sw := NewCABACWriter(w)
+	vals := make([]uint32, 2000)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(5))
+		sw.PutUVal(ClassMVX, vals[i])
+	}
+	sw.Flush()
+	buf := append([]byte(nil), w.Bytes()...)
+	bitio.FlipBit(buf, 30)
+	sr := NewCABACReader(bitio.NewReader(buf))
+	wrong := 0
+	for _, want := range vals {
+		if sr.GetUVal(ClassMVX) != want {
+			wrong++
+		}
+	}
+	if wrong < 50 {
+		t.Fatalf("only %d wrong symbols after early flip", wrong)
+	}
+}
+
+func TestCAVLCDesyncFlagOnTruncation(t *testing.T) {
+	w := bitio.NewWriter()
+	sw := NewCAVLCWriter(w)
+	for i := 0; i < 100; i++ {
+		sw.PutUVal(ClassMVX, 500)
+	}
+	sw.Flush()
+	buf := w.Bytes()[:3]
+	sr := NewCAVLCReader(bitio.NewReader(buf))
+	for i := 0; i < 100; i++ {
+		sr.GetUVal(ClassMVX)
+	}
+	if !sr.Desynced() {
+		t.Fatal("truncated CAVLC stream must flag desync")
+	}
+}
+
+func TestCABACReaderCapsCorruptSuffix(t *testing.T) {
+	// All-ones garbage drives the UEG suffix decoder into its cap; it must
+	// flag desync rather than hang or overflow.
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	sr := NewCABACReader(bitio.NewReader(buf))
+	for i := 0; i < 50; i++ {
+		sr.GetUVal(ClassCoeffLevel)
+	}
+	_ = sr.Desynced() // must simply terminate; flag value depends on garbage
+}
+
+func TestBitPosMonotone(t *testing.T) {
+	for name, be := range backends() {
+		t.Run(name, func(t *testing.T) {
+			w := bitio.NewWriter()
+			sw := be.newW(w)
+			last := sw.BitPos()
+			for i := 0; i < 200; i++ {
+				sw.PutUVal(ClassCBP, uint32(i%7))
+				if sw.BitPos() < last {
+					t.Fatal("BitPos must be monotone")
+				}
+				last = sw.BitPos()
+			}
+		})
+	}
+}

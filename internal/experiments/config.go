@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7) plus the §8 discussion ablations, on the synthetic
+// video suite. Each experiment returns a typed result with a text rendering
+// whose rows mirror what the paper reports.
+//
+// Two scales are provided: FastConfig runs in seconds for tests and CI;
+// PaperConfig approaches the paper's 720p/500-frame scale and is intended
+// for the cmd/experiments binary.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/frame"
+	"videoapp/internal/quality"
+	"videoapp/internal/synth"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// W, H, Frames control the synthetic sequence size.
+	W, H, Frames int
+	// Presets names the synth presets used (empty = all 14).
+	Presets []string
+	// CRF is the encoder quality target (the paper uses 24/20/16).
+	CRF int
+	// GOPSize is the I-frame interval.
+	GOPSize int
+	// Runs is the Monte-Carlo repetition count (paper: 30).
+	Runs int
+	// Seed drives all stochastic components.
+	Seed int64
+	// Entropy selects the entropy coder (paper default: CABAC).
+	Entropy codec.EntropyKind
+}
+
+// FastConfig is a seconds-scale configuration for tests.
+func FastConfig() Config {
+	return Config{
+		W: 96, H: 64, Frames: 12,
+		Presets: []string{"crew_like", "news_like"},
+		CRF:     24, GOPSize: 12, Runs: 3, Seed: 1,
+	}
+}
+
+// DefaultConfig is the medium scale used by benchmarks: large enough for
+// stable trends, small enough for minutes-scale full reproduction.
+func DefaultConfig() Config {
+	return Config{
+		W: 320, H: 176, Frames: 60,
+		CRF: 24, GOPSize: 30, Runs: 10, Seed: 1,
+	}
+}
+
+// PaperConfig approaches the paper's experimental scale. Expect long runs.
+func PaperConfig() Config {
+	return Config{
+		W: 1280, H: 720, Frames: 500,
+		CRF: 24, GOPSize: 60, Runs: 30, Seed: 1,
+	}
+}
+
+func (c Config) presets() []synth.Config {
+	names := c.Presets
+	var out []synth.Config
+	if len(names) == 0 {
+		for _, p := range synth.Presets {
+			out = append(out, p.ScaleTo(c.W, c.H, c.Frames))
+		}
+		return out
+	}
+	for _, n := range names {
+		p, ok := synth.PresetByName(n)
+		if ok {
+			out = append(out, p.ScaleTo(c.W, c.H, c.Frames))
+		}
+	}
+	return out
+}
+
+func (c Config) params() codec.Params {
+	p := codec.DefaultParams()
+	p.CRF = c.CRF
+	p.GOPSize = c.GOPSize
+	p.Entropy = c.Entropy
+	p.SearchRange = 8
+	return p
+}
+
+// EncodedVideo bundles everything the experiments reuse per suite member.
+type EncodedVideo struct {
+	Name     string
+	Seq      *frame.Sequence
+	Video    *codec.Video
+	Analysis *core.Analysis
+	// CleanRecs are the coded-order reconstructions of the undamaged video.
+	CleanRecs []*frame.Frame
+	// Clean is the display-order clean decode.
+	Clean *frame.Sequence
+	// CleanPSNR is PSNR(Seq, Clean), cached for quality-change math.
+	CleanPSNR float64
+	// CleanFramePSNR is the per-display-frame clean PSNR.
+	CleanFramePSNR []float64
+	// Pixels is the total luma pixel count.
+	Pixels int64
+}
+
+// EncodeSuite encodes and analyzes every suite member once.
+func EncodeSuite(cfg Config) ([]*EncodedVideo, error) {
+	var out []*EncodedVideo
+	params := cfg.params()
+	for _, pc := range cfg.presets() {
+		seq := synth.Generate(pc)
+		v, err := codec.Encode(seq, params)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: encode %s: %w", pc.Name, err)
+		}
+		recs, err := codec.DecodeRecs(v)
+		if err != nil {
+			return nil, err
+		}
+		clean, err := codec.RecsToDisplay(v, recs)
+		if err != nil {
+			return nil, err
+		}
+		cleanPSNR, err := quality.PSNR(seq, clean)
+		if err != nil {
+			return nil, err
+		}
+		framePSNR := make([]float64, len(clean.Frames))
+		for d := range clean.Frames {
+			framePSNR[d], err = quality.PSNRFrame(seq.Frames[d], clean.Frames[d])
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, &EncodedVideo{
+			Name:           pc.Name,
+			Seq:            seq,
+			Video:          v,
+			Analysis:       core.Analyze(v, core.DefaultOptions()),
+			CleanRecs:      recs,
+			Clean:          clean,
+			CleanPSNR:      cleanPSNR,
+			CleanFramePSNR: framePSNR,
+			Pixels:         seq.PixelCount(),
+		})
+	}
+	return out, nil
+}
+
+// qualityChangeDB is the evaluation's y-axis: the PSNR delta between the
+// corrupted decode and the clean decode, both measured against the original
+// raw video (negative = quality loss).
+func qualityChangeDB(orig, clean, corrupted *frame.Sequence) (float64, error) {
+	pc, err := quality.PSNR(orig, corrupted)
+	if err != nil {
+		return 0, err
+	}
+	p0, err := quality.PSNR(orig, clean)
+	if err != nil {
+		return 0, err
+	}
+	return pc - p0, nil
+}
+
+// renderTable formats rows with aligned columns for terminal output.
+func renderTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

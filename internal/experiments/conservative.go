@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videoapp/internal/bch"
+	"videoapp/internal/core"
+)
+
+// CompressionExchangeRateDB is how much quality deterministic compression
+// costs per percent of storage saved, from the paper's calibration: 10-15%
+// storage reduction costs 0.4-0.6 dB, i.e. roughly 0.04 dB per percent.
+const CompressionExchangeRateDB = 0.04
+
+// DeriveConservative implements the §7.2.1 alternative strategy: a class is
+// given a weaker scheme only when the storage gained beats what compression
+// would buy for the same quality loss — approximation must show a clear win
+// against compression, otherwise the class keeps the stronger protection.
+func DeriveConservative(f10 *Fig10Result) *Table1Result {
+	res := &Table1Result{}
+	ladder := bch.Schemes
+	minScheme := 0
+	prevClass := 0
+	prevFrac := 0.0
+	var assignment core.ClassAssignment
+	assignment.Header = bch.SchemeBCH16
+	strongest := len(ladder) - 1
+	for ci, cls := range f10.Classes {
+		incFrac := f10.StorageFrac[ci] - prevFrac
+		if incFrac < 0 {
+			incFrac = 0
+		}
+		chosen := strongest
+		var estLoss float64
+		for si := minScheme; si < strongest; si++ {
+			s := ladder[si]
+			loss := -(f10.LossAt(ci, s.NominalRate) - prevLoss(f10, ci, s.NominalRate))
+			if loss < 0 {
+				loss = 0
+			}
+			// Storage this scheme saves vs the strongest, for this class,
+			// in percent of total payload.
+			savedPct := (ladder[strongest].Overhead() - s.Overhead()) * incFrac * 100
+			// Quality compression would give up for the same saving.
+			compressionLoss := savedPct * CompressionExchangeRateDB
+			if loss < compressionLoss {
+				chosen, estLoss = si, loss
+				break
+			}
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			MinClass: prevClass + 1, MaxClass: cls,
+			Scheme:          ladder[chosen],
+			StorageFrac:     incFrac,
+			BudgetDB:        incFrac * 100 * (ladder[strongest].Overhead() - ladder[chosen].Overhead()) * CompressionExchangeRateDB,
+			EstimatedLossDB: estLoss,
+		})
+		res.TotalLossDB += estLoss
+		minScheme = chosen
+		prevClass = cls
+		prevFrac = f10.StorageFrac[ci]
+	}
+	for i, row := range res.Rows {
+		if i+1 < len(res.Rows) && res.Rows[i+1].Scheme.Name == row.Scheme.Name {
+			continue
+		}
+		assignment.Bounds = append(assignment.Bounds, core.ClassBound{MaxClass: row.MaxClass, Scheme: row.Scheme})
+	}
+	res.Assignment = assignment
+	return res
+}
+
+func prevLoss(f10 *Fig10Result, ci int, p float64) float64 {
+	if ci == 0 {
+		return 0
+	}
+	return f10.LossAt(ci-1, p)
+}
+
+// CompareStrategies summarizes budget vs conservative assignments on the
+// same measured data.
+func CompareStrategies(f10 *Fig10Result) string {
+	budget := DeriveTable1(f10)
+	conservative := DeriveConservative(f10)
+	return fmt.Sprintf("budget strategy: loss %.4f dB, %d scheme bounds\nconservative strategy: loss %.4f dB, %d scheme bounds\n",
+		budget.TotalLossDB, len(budget.Assignment.Bounds),
+		conservative.TotalLossDB, len(conservative.Assignment.Bounds))
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export: each result type can write the raw series behind its figure so
+// the plots can be regenerated with any plotting tool.
+
+// WriteCSV emits the Figure 3 PSNR surface as (x, y, psnr) triples.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mb_x", "mb_y", "psnr_db"}); err != nil {
+		return err
+	}
+	for y := 0; y < r.MBRows; y++ {
+		for x := 0; x < r.MBCols; x++ {
+			if err := cw.Write([]string{itoa(x), itoa(y), ftoa(r.PSNR[y][x])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 8 table.
+func (r *Fig8Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "overhead_pct", "nominal_capability", "block_failure_prob"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.Scheme, ftoa(row.OverheadPct), etoa(row.NominalCapability), etoa(row.ComputedBlockFailure)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 9 curves as (bin, rate, loss_db, max_imp_log2).
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin", "error_rate", "quality_change_db", "bin_max_importance_log2"}); err != nil {
+		return err
+	}
+	for b := range r.Loss {
+		for ri, p := range r.Rates {
+			if err := cw.Write([]string{itoa(b), etoa(p), ftoa(r.Loss[b][ri]), ftoa(r.MaxImportanceLog2[b])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 10 curves as (class, rate, loss_db, storage_frac).
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "error_rate", "cumulative_quality_change_db", "cumulative_storage_frac"}); err != nil {
+		return err
+	}
+	for ci, cls := range r.Classes {
+		for ri, p := range r.Rates {
+			if err := cw.Write([]string{itoa(cls), etoa(p), ftoa(r.Loss[ci][ri]), ftoa(r.StorageFrac[ci])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the derived Table 1.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"min_class", "max_class", "scheme", "nominal_rate", "overhead", "storage_frac", "budget_db", "estimated_loss_db"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			itoa(row.MinClass), itoa(row.MaxClass), row.Scheme.Name,
+			etoa(row.Scheme.NominalRate), ftoa(row.Scheme.Overhead()),
+			ftoa(row.StorageFrac), ftoa(row.BudgetDB), ftoa(row.EstimatedLossDB),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 11 points.
+func (r *Fig11Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"design", "crf", "cells_per_pixel", "psnr_db", "worst_loss_db", "ecc_overhead", "density_vs_slc"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			p.Design, itoa(p.CRF), ftoa(p.CellsPerPixel), ftoa(p.PSNR),
+			ftoa(p.QualityLossDB), ftoa(p.ECCOverhead), ftoa(p.DensityVsSLC),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.6f", v) }
+func etoa(v float64) string { return fmt.Sprintf("%.3e", v) }

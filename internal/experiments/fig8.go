@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videoapp/internal/bch"
+)
+
+// Fig8Row is one bar group of Figure 8: a BCH scheme's storage overhead and
+// its error correction capability at raw bit error rate 10^-3.
+type Fig8Row struct {
+	Scheme string
+	// OverheadPct is the storage overhead in percent (left axis).
+	OverheadPct float64
+	// NominalCapability is the post-correction error rate the paper quotes
+	// (right axis, log scale).
+	NominalCapability float64
+	// ComputedBlockFailure is the analytically computed probability that a
+	// 512-bit block exceeds the correction capability at RBER 10^-3.
+	ComputedBlockFailure float64
+}
+
+// Fig8Result is the full Figure 8 table.
+type Fig8Result struct {
+	RawBER float64
+	Rows   []Fig8Row
+}
+
+// Figure8 regenerates Figure 8 from the BCH code parameters.
+func Figure8() *Fig8Result {
+	const rber = 1e-3
+	res := &Fig8Result{RawBER: rber}
+	for _, s := range []bch.Scheme{
+		bch.SchemeBCH6, bch.SchemeBCH7, bch.SchemeBCH8, bch.SchemeBCH9,
+		bch.SchemeBCH10, bch.SchemeBCH11, bch.SchemeBCH16,
+	} {
+		res.Rows = append(res.Rows, Fig8Row{
+			Scheme:               s.Name,
+			OverheadPct:          s.Overhead() * 100,
+			NominalCapability:    s.NominalRate,
+			ComputedBlockFailure: bch.UncorrectableBlockProb(s.T, rber),
+		})
+	}
+	return res
+}
+
+// String renders the table.
+func (r *Fig8Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scheme,
+			fmt.Sprintf("%.2f%%", row.OverheadPct),
+			fmt.Sprintf("%.0e", row.NominalCapability),
+			fmt.Sprintf("%.2e", row.ComputedBlockFailure),
+		})
+	}
+	return fmt.Sprintf("Figure 8: BCH codes on 512-bit blocks at RBER %.0e\n%s",
+		r.RawBER, renderTable([]string{"Scheme", "Overhead", "Capability", "P(block fail)"}, rows))
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"videoapp/internal/bitio"
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/frame"
+	"videoapp/internal/quality"
+	"videoapp/internal/sim"
+)
+
+// bitRegion is a set of macroblock bit ranges treated as one flat bit space
+// for error injection (the paper's bins and importance classes).
+type bitRegion struct {
+	ranges []core.MBBits
+	// cum[i] is the flat offset where ranges[i] begins; cum[len] == total.
+	cum   []int64
+	total int64
+}
+
+func newBitRegion(ranges []core.MBBits) *bitRegion {
+	r := &bitRegion{ranges: ranges, cum: make([]int64, len(ranges)+1)}
+	for i, m := range ranges {
+		r.cum[i] = r.total
+		r.total += m.BitLen
+	}
+	r.cum[len(ranges)] = r.total
+	return r
+}
+
+// locate maps a flat offset into (coded frame, payload bit position).
+func (r *bitRegion) locate(off int64) (frameIdx int, bitPos int64) {
+	if len(r.ranges) == 0 {
+		return 0, 0
+	}
+	i := sort.Search(len(r.ranges), func(i int) bool { return r.cum[i+1] > off })
+	if i >= len(r.ranges) {
+		last := r.ranges[len(r.ranges)-1]
+		return last.Frame, last.BitStart + last.BitLen - 1
+	}
+	m := r.ranges[i]
+	return m.Frame, m.BitStart + (off - r.cum[i])
+}
+
+// inject flips bits of the region at rate p in a clone of v, returning the
+// clone, the coded index of the first damaged frame (len(frames) if none)
+// and the §6.4 scale factor for the measured loss.
+func (r *bitRegion) inject(v *codec.Video, rng *rand.Rand, p float64) (damaged *codec.Video, firstDirty int, scale float64) {
+	c := v.Clone()
+	firstDirty = len(v.Frames)
+	scale = 1
+	if r.total == 0 || p <= 0 {
+		return c, firstDirty, scale
+	}
+	var offsets []int64
+	if sim.UseForcedFlip(r.total, p) {
+		ff := sim.ForceOneFlip(rng, r.total, p)
+		offsets = []int64{ff.Position}
+		scale = ff.Scale
+	} else {
+		offsets = sim.ErrorPositions(rng, r.total, p)
+	}
+	for _, off := range offsets {
+		fi, pos := r.locate(off)
+		bitio.FlipBit(c.Frames[fi].Payload, pos)
+		if fi < firstDirty {
+			firstDirty = fi
+		}
+	}
+	return c, firstDirty, scale
+}
+
+// measureRegionLoss runs the Monte-Carlo §6.4 methodology: inject errors in
+// the region at rate p over the given runs and return the mean quality
+// change in dB (negative = loss), with forced-flip scaling at low rates.
+// Frames coded before the first corrupted one reuse their cached clean
+// per-frame PSNRs, so the cost scales with the damaged suffix only.
+func measureRegionLoss(ev *EncodedVideo, region *bitRegion, p float64, runs int, seed int64) (mean, worst float64, err error) {
+	n := len(ev.Video.Frames)
+	worst = 0
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(seed + int64(run)*7919))
+		damaged, firstDirty, scale := region.inject(ev.Video, rng, p)
+		var change float64
+		if firstDirty < n {
+			recs := make([]*frame.Frame, n)
+			copy(recs, ev.CleanRecs[:firstDirty])
+			var sum float64
+			for i := 0; i < n; i++ {
+				d := ev.Video.Frames[i].DisplayIdx
+				if i < firstDirty {
+					sum += ev.CleanFramePSNR[d]
+					continue
+				}
+				recs[i] = codec.DecodeSingle(damaged, i, recs)
+				pf, derr := quality.PSNRFrame(ev.Seq.Frames[d], recs[i])
+				if derr != nil {
+					return 0, 0, derr
+				}
+				sum += pf
+			}
+			change = (sum/float64(n) - ev.CleanPSNR) * scale
+		}
+		mean += change
+		if change < worst {
+			worst = change
+		}
+	}
+	mean /= float64(runs)
+	return mean, worst, nil
+}
+
+// sortedByImportance returns the MB records of ev ascending by importance.
+func sortedByImportance(ev *EncodedVideo) []core.MBBits {
+	ranges := ev.Analysis.MBBitRanges()
+	sort.SliceStable(ranges, func(i, j int) bool {
+		return ranges[i].Importance < ranges[j].Importance
+	})
+	return ranges
+}
+
+// equalStorageBins splits importance-sorted MB records into n bins of equal
+// storage (§7.1).
+func equalStorageBins(sorted []core.MBBits, n int) [][]core.MBBits {
+	var total int64
+	for _, m := range sorted {
+		total += m.BitLen
+	}
+	bins := make([][]core.MBBits, n)
+	if total == 0 {
+		return bins
+	}
+	// Each record goes to the bin containing its cumulative midpoint, which
+	// keeps bins storage-balanced and guarantees the last bin is populated
+	// even when single macroblocks exceed a bin's nominal share.
+	var cum int64
+	for _, m := range sorted {
+		mid := cum + m.BitLen/2
+		bin := int(mid * int64(n) / total)
+		if bin >= n {
+			bin = n - 1
+		}
+		bins[bin] = append(bins[bin], m)
+		cum += m.BitLen
+	}
+	return bins
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videoapp/internal/bch"
+	"videoapp/internal/core"
+)
+
+// QualityBudgetDB is the paper's §7.2 quality-loss budget: the worst-case
+// approximation loss must stay below what deterministic compression would
+// cost for the same storage savings (0.4-0.6 dB), so the budget is 0.3 dB.
+const QualityBudgetDB = 0.3
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	MinClass, MaxClass int
+	Scheme             bch.Scheme
+	// StorageFrac is the incremental payload fraction the class range holds.
+	StorageFrac float64
+	// BudgetDB and EstimatedLossDB document the algorithm's decision.
+	BudgetDB, EstimatedLossDB float64
+}
+
+// Table1Result is the derived error correction assignment.
+type Table1Result struct {
+	Rows       []Table1Row
+	Assignment core.ClassAssignment
+	// TotalLossDB is the summed estimated loss (must be <= QualityBudgetDB).
+	TotalLossDB float64
+}
+
+// DeriveTable1 runs the §7.2 budget-allocation algorithm on measured
+// Figure 10 data: distribute the 0.3 dB budget across importance classes
+// proportionally to the storage they occupy, then give each class the
+// weakest scheme whose incremental loss fits its budget share. Scheme
+// strength never decreases with class, preserving the pivot layout.
+func DeriveTable1(f10 *Fig10Result) *Table1Result {
+	res := &Table1Result{}
+	ladder := bch.Schemes
+	minScheme := 0 // index into ladder; grows monotonically
+	prevLossAt := func(ri int, p float64) float64 {
+		if ri == 0 {
+			return 0
+		}
+		return f10.LossAt(ri-1, p)
+	}
+	prevClass := 0
+	prevFrac := 0.0
+	var assignment core.ClassAssignment
+	assignment.Header = bch.SchemeBCH16
+	for ci, cls := range f10.Classes {
+		incFrac := f10.StorageFrac[ci] - prevFrac
+		if incFrac < 0 {
+			incFrac = 0
+		}
+		budget := QualityBudgetDB * incFrac
+		chosen := len(ladder) - 1
+		var estLoss float64
+		for si := minScheme; si < len(ladder); si++ {
+			s := ladder[si]
+			// Incremental loss: cumulative class loss at the scheme's rate
+			// minus the previous class's loss at the same rate (§7.2:
+			// "excludes the bits covered by the previous class").
+			loss := -(f10.LossAt(ci, s.NominalRate) - prevLossAt(ci, s.NominalRate))
+			if loss < 0 {
+				loss = 0
+			}
+			if loss <= budget || si == len(ladder)-1 {
+				chosen, estLoss = si, loss
+				break
+			}
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			MinClass: prevClass + 1, MaxClass: cls,
+			Scheme:      ladder[chosen],
+			StorageFrac: incFrac,
+			BudgetDB:    budget, EstimatedLossDB: estLoss,
+		})
+		res.TotalLossDB += estLoss
+		minScheme = chosen
+		prevClass = cls
+		prevFrac = f10.StorageFrac[ci]
+	}
+	// Collapse consecutive rows with the same scheme into assignment bounds.
+	for i, row := range res.Rows {
+		if i+1 < len(res.Rows) && res.Rows[i+1].Scheme.Name == row.Scheme.Name {
+			continue
+		}
+		assignment.Bounds = append(assignment.Bounds, core.ClassBound{
+			MaxClass: row.MaxClass,
+			Scheme:   row.Scheme,
+		})
+	}
+	res.Assignment = assignment
+	return res
+}
+
+// String renders the derived table next to the paper's Table 1 semantics.
+func (r *Table1Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d-%d", row.MinClass, row.MaxClass),
+			row.Scheme.Name,
+			fmt.Sprintf("%.0e", row.Scheme.NominalRate),
+			fmt.Sprintf("%.2f%%", row.Scheme.Overhead()*100),
+			fmt.Sprintf("%.1f%%", row.StorageFrac*100),
+			fmt.Sprintf("%.4f", row.BudgetDB),
+			fmt.Sprintf("%.4f", row.EstimatedLossDB),
+		})
+	}
+	rows = append(rows, []string{"header", "BCH-16", "1e-16", "31.25%", "-", "-", "-"})
+	return fmt.Sprintf("Table 1: derived error correction assignment (budget %.1f dB, estimated loss %.4f dB)\n%s",
+		QualityBudgetDB, r.TotalLossDB,
+		renderTable([]string{"Class", "Scheme", "Rate", "Overhead", "Storage", "Budget", "EstLoss"}, rows))
+}

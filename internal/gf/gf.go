@@ -1,0 +1,172 @@
+// Package gf implements arithmetic in binary Galois fields GF(2^m) and in
+// polynomial rings over GF(2), the algebraic substrate of the BCH error
+// correction codes used for variable-reliability storage.
+package gf
+
+import "fmt"
+
+// Default primitive polynomials (including the x^m term) for each supported
+// field order, indexed by m. Taken from standard BCH/Reed-Solomon tables.
+var primitivePolys = map[uint]uint32{
+	3:  0x0B,   // x^3 + x + 1
+	4:  0x13,   // x^4 + x + 1
+	5:  0x25,   // x^5 + x^2 + 1
+	6:  0x43,   // x^6 + x + 1
+	7:  0x89,   // x^7 + x^3 + 1
+	8:  0x11D,  // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x211,  // x^9 + x^4 + 1
+	10: 0x409,  // x^10 + x^3 + 1
+	11: 0x805,  // x^11 + x^2 + 1
+	12: 0x1053, // x^12 + x^6 + x^4 + x + 1
+	13: 0x201B, // x^13 + x^4 + x^3 + x + 1
+	14: 0x4443, // x^14 + x^10 + x^6 + x + 1
+}
+
+// Field is a GF(2^m) field with precomputed exp/log tables.
+type Field struct {
+	m    uint   // extension degree
+	n    int    // multiplicative order, 2^m - 1
+	exp  []int  // exp[i] = alpha^i, doubled for mod-free lookup
+	log  []int  // log[x] = i such that alpha^i = x; log[0] unused
+	poly uint32 // primitive polynomial
+}
+
+// NewField constructs GF(2^m) using the standard primitive polynomial.
+// Supported m range is 3..14.
+func NewField(m uint) (*Field, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("gf: unsupported field degree m=%d", m)
+	}
+	n := 1<<m - 1
+	f := &Field{
+		m:    m,
+		n:    n,
+		exp:  make([]int, 2*n),
+		log:  make([]int, n+1),
+		poly: poly,
+	}
+	x := 1
+	for i := 0; i < n; i++ {
+		f.exp[i] = x
+		f.exp[i+n] = x
+		f.log[x] = i
+		x <<= 1
+		if x > n {
+			x ^= int(poly)
+		}
+	}
+	return f, nil
+}
+
+// MustField is NewField panicking on unsupported m; for static tables.
+func MustField(m uint) *Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the extension degree m.
+func (f *Field) M() uint { return f.m }
+
+// N returns the multiplicative order 2^m - 1.
+func (f *Field) N() int { return f.n }
+
+// Exp returns alpha^i for any integer i (reduced mod 2^m-1).
+func (f *Field) Exp(i int) int {
+	i %= f.n
+	if i < 0 {
+		i += f.n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of x; x must be nonzero.
+func (f *Field) Log(x int) int {
+	if x == 0 {
+		panic("gf: log of zero")
+	}
+	return f.log[x]
+}
+
+// Mul returns the field product of a and b.
+func (f *Field) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Div returns a/b; b must be nonzero.
+func (f *Field) Div(a, b int) int {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]-f.log[b]+f.n]
+}
+
+// Inv returns the multiplicative inverse of a; a must be nonzero.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[f.n-f.log[a]]
+}
+
+// Pow returns a^k, with 0^0 = 1.
+func (f *Field) Pow(a, k int) int {
+	if a == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	e := (f.log[a] * k) % f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// MinimalPoly returns the minimal polynomial over GF(2) of alpha^i as a
+// Poly2 (bit k set means the x^k coefficient is 1).
+//
+// It is computed as the product of (x - alpha^{i·2^j}) over the cyclotomic
+// coset of i, carried out with polynomial coefficients in GF(2^m); the
+// result provably has coefficients in {0,1}.
+func (f *Field) MinimalPoly(i int) Poly2 {
+	// Collect the cyclotomic coset of i mod n.
+	seen := map[int]bool{}
+	coset := []int{}
+	for e := i % f.n; !seen[e]; e = e * 2 % f.n {
+		seen[e] = true
+		coset = append(coset, e)
+	}
+	// poly holds coefficients in GF(2^m), low degree first; start with 1.
+	poly := []int{1}
+	for _, e := range coset {
+		root := f.Exp(e)
+		next := make([]int, len(poly)+1)
+		for d, c := range poly {
+			next[d+1] ^= c            // x * c
+			next[d] ^= f.Mul(c, root) // root * c (char 2: add == xor)
+		}
+		poly = next
+	}
+	var p Poly2
+	for d, c := range poly {
+		switch c {
+		case 0:
+		case 1:
+			p = p.setBit(d)
+		default:
+			panic("gf: minimal polynomial has non-binary coefficient")
+		}
+	}
+	return p
+}

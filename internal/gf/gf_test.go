@@ -1,0 +1,207 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldBasics(t *testing.T) {
+	f := MustField(10)
+	if f.N() != 1023 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if f.Exp(0) != 1 {
+		t.Fatal("alpha^0 must be 1")
+	}
+	if f.Exp(f.N()) != 1 {
+		t.Fatal("alpha^n must wrap to 1")
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	f := MustField(10)
+	for x := 1; x <= f.N(); x++ {
+		if f.Exp(f.Log(x)) != x {
+			t.Fatalf("exp(log(%d)) != %d", x, x)
+		}
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	f := MustField(8)
+	cfg := &quick.Config{MaxCount: 500}
+	comm := func(a, b uint16) bool {
+		x, y := int(a)%256, int(b)%256
+		return f.Mul(x, y) == f.Mul(y, x)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Fatal(err)
+	}
+	assoc := func(a, b, c uint16) bool {
+		x, y, z := int(a)%256, int(b)%256, int(c)%256
+		return f.Mul(f.Mul(x, y), z) == f.Mul(x, f.Mul(y, z))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := MustField(8)
+	prop := func(a, b, c uint16) bool {
+		x, y, z := int(a)%256, int(b)%256, int(c)%256
+		return f.Mul(x, y^z) == f.Mul(x, y)^f.Mul(x, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	f := MustField(10)
+	for x := 1; x <= f.N(); x++ {
+		if f.Mul(x, f.Inv(x)) != 1 {
+			t.Fatalf("x*inv(x) != 1 for x=%d", x)
+		}
+	}
+	if f.Div(0, 5) != 0 {
+		t.Fatal("0/b must be 0")
+	}
+	if f.Div(f.Mul(7, 9), 9) != 7 {
+		t.Fatal("(a*b)/b must be a")
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustField(6)
+	for a := 1; a <= f.N(); a++ {
+		got := f.Pow(a, 3)
+		want := f.Mul(a, f.Mul(a, a))
+		if got != want {
+			t.Fatalf("pow(%d,3) = %d, want %d", a, got, want)
+		}
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 5) != 0 {
+		t.Fatal("0^0 = 1, 0^k = 0")
+	}
+	if f.Pow(5, 0) != 1 {
+		t.Fatal("a^0 = 1")
+	}
+	// Negative exponents follow the cyclic group.
+	if f.Pow(5, -1) != f.Inv(5) {
+		t.Fatal("a^-1 = inv(a)")
+	}
+}
+
+func TestUnsupportedField(t *testing.T) {
+	if _, err := NewField(2); err == nil {
+		t.Fatal("m=2 must be rejected")
+	}
+	if _, err := NewField(20); err == nil {
+		t.Fatal("m=20 must be rejected")
+	}
+}
+
+func TestMinimalPolyHasRoot(t *testing.T) {
+	f := MustField(10)
+	for _, i := range []int{1, 3, 5, 7, 9, 11} {
+		mp := f.MinimalPoly(i)
+		// Evaluate mp at alpha^i in GF(2^m): must be 0.
+		val := 0
+		for d := 0; d <= mp.Degree(); d++ {
+			if mp.Bit(d) == 1 {
+				val ^= f.Pow(f.Exp(i), d)
+			}
+		}
+		if val != 0 {
+			t.Fatalf("minimal poly of alpha^%d does not vanish at its root", i)
+		}
+		if mp.Degree() > int(f.M()) {
+			t.Fatalf("minimal poly degree %d exceeds m", mp.Degree())
+		}
+	}
+}
+
+func TestMinimalPolyOfAlpha(t *testing.T) {
+	// For the primitive element, the minimal polynomial is the primitive
+	// polynomial itself: x^10 + x^3 + 1.
+	f := MustField(10)
+	want := Poly2FromCoeffs(10, 3, 0)
+	if got := f.MinimalPoly(1); !got.Equal(want) {
+		t.Fatalf("minimal poly of alpha = %v, want %v", got, want)
+	}
+}
+
+func TestPoly2Degree(t *testing.T) {
+	if !(Poly2{}).IsZero() {
+		t.Fatal("empty poly is zero")
+	}
+	if (Poly2{}).Degree() != -1 {
+		t.Fatal("zero poly degree is -1")
+	}
+	if One().Degree() != 0 {
+		t.Fatal("deg(1) = 0")
+	}
+	if Poly2FromCoeffs(100).Degree() != 100 {
+		t.Fatal("deg(x^100) = 100")
+	}
+}
+
+func TestPoly2AddSelfIsZero(t *testing.T) {
+	p := Poly2FromCoeffs(0, 3, 17, 80)
+	if !p.Add(p).IsZero() {
+		t.Fatal("p + p = 0 over GF(2)")
+	}
+}
+
+func TestPoly2MulDegrees(t *testing.T) {
+	p := Poly2FromCoeffs(3, 1, 0) // x^3+x+1
+	q := Poly2FromCoeffs(2, 0)    // x^2+1
+	r := p.Mul(q)
+	if r.Degree() != 5 {
+		t.Fatalf("deg = %d", r.Degree())
+	}
+	// (x^3+x+1)(x^2+1) = x^5+x^3 + x^3+x + x^2+1 = x^5+x^2+x+1
+	want := Poly2FromCoeffs(5, 2, 1, 0)
+	if !r.Equal(want) {
+		t.Fatalf("got %v, want %v", r, want)
+	}
+}
+
+func TestPoly2Mod(t *testing.T) {
+	p := Poly2FromCoeffs(5, 2, 1, 0)
+	q := Poly2FromCoeffs(3, 1, 0)
+	// p = q * (x^2+1), so p mod q = 0.
+	if !p.Mod(q).IsZero() {
+		t.Fatal("exact division must leave zero remainder")
+	}
+	// (p + x) mod q = x.
+	r := p.Add(Poly2FromCoeffs(1)).Mod(q)
+	if !r.Equal(Poly2FromCoeffs(1)) {
+		t.Fatalf("got %v", r)
+	}
+}
+
+func TestPoly2MulModProperty(t *testing.T) {
+	// (a*b) mod b == 0 for random small polynomials.
+	prop := func(a, b uint32) bool {
+		pa := Poly2{uint64(a) | 1} // ensure nonzero
+		pb := Poly2{uint64(b) | 2}
+		return pa.Mul(pb).Mod(pb).IsZero()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	f := MustField(10)
+	acc := 1
+	for i := 0; i < b.N; i++ {
+		acc = f.Mul(acc, 517)
+		if acc == 0 {
+			acc = 1
+		}
+	}
+	_ = acc
+}

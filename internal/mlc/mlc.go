@@ -1,0 +1,81 @@
+// Package mlc models the dense multi-level-cell PCM storage substrate of the
+// paper (from Guo et al., ASPLOS 2016): cells with eight resistance levels
+// whose ranges are biased so that write/read circuit errors and resistance
+// drift contribute equally at the scrubbing interval, yielding a raw bit
+// error rate of 10^-3 at the default three-month scrub — 3× the density of
+// reliable SLC at the cost of frequent errors that error correction (or
+// approximation) must absorb.
+package mlc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Substrate describes one MLC configuration.
+type Substrate struct {
+	// LevelsPerCell is the number of resistance levels (a power of two).
+	LevelsPerCell int
+	// RawBER is the raw bit error rate at the reference scrub interval.
+	RawBER float64
+	// ScrubIntervalMonths is the reference scrubbing (refresh) interval at
+	// which the substrate is biased.
+	ScrubIntervalMonths float64
+}
+
+// Default returns the paper's substrate: 8 levels per cell, RBER 10^-3,
+// three-month scrubbing.
+func Default() Substrate {
+	return Substrate{LevelsPerCell: 8, RawBER: 1e-3, ScrubIntervalMonths: 3}
+}
+
+// SLC returns the reliable single-level-cell baseline used for the 2.57×
+// density comparison: one bit per cell, negligible raw errors, no ECC.
+func SLC() Substrate {
+	return Substrate{LevelsPerCell: 2, RawBER: 1e-16, ScrubIntervalMonths: 3}
+}
+
+// Validate reports configuration errors.
+func (s Substrate) Validate() error {
+	if s.LevelsPerCell < 2 || s.LevelsPerCell&(s.LevelsPerCell-1) != 0 {
+		return fmt.Errorf("mlc: levels per cell %d must be a power of two >= 2", s.LevelsPerCell)
+	}
+	if s.RawBER < 0 || s.RawBER > 0.5 {
+		return fmt.Errorf("mlc: raw BER %g out of range", s.RawBER)
+	}
+	if s.ScrubIntervalMonths <= 0 {
+		return fmt.Errorf("mlc: scrub interval must be positive")
+	}
+	return nil
+}
+
+// BitsPerCell returns log2(levels).
+func (s Substrate) BitsPerCell() float64 {
+	return math.Log2(float64(s.LevelsPerCell))
+}
+
+// CellsForBits returns the number of cells needed to store n payload bits
+// with the given ECC storage overhead (parity bits / payload bits).
+func (s Substrate) CellsForBits(n int64, overhead float64) float64 {
+	return float64(n) * (1 + overhead) / s.BitsPerCell()
+}
+
+// EffectiveRBER models how the raw bit error rate changes with the scrub
+// interval. The substrate is biased so write/read errors and drift errors
+// each contribute half the error budget at the reference interval; drift
+// grows with sqrt(time) (resistance drift widens level distributions over
+// time), while the write/read component is time-independent.
+func (s Substrate) EffectiveRBER(scrubMonths float64) float64 {
+	if scrubMonths <= 0 {
+		scrubMonths = s.ScrubIntervalMonths
+	}
+	half := s.RawBER / 2
+	drift := half * math.Sqrt(scrubMonths/s.ScrubIntervalMonths)
+	return half + drift
+}
+
+// DensityVsSLC returns the density improvement of storing data at the given
+// ECC overhead on this substrate relative to unprotected SLC storage.
+func (s Substrate) DensityVsSLC(overhead float64) float64 {
+	return s.BitsPerCell() / (1 + overhead)
+}

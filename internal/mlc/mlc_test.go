@@ -1,0 +1,101 @@
+package mlc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultSubstrate(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BitsPerCell() != 3 {
+		t.Fatalf("8 levels = 3 bits/cell, got %v", s.BitsPerCell())
+	}
+	if s.RawBER != 1e-3 {
+		t.Fatalf("raw BER %g", s.RawBER)
+	}
+}
+
+func TestSLCBaseline(t *testing.T) {
+	s := SLC()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BitsPerCell() != 1 {
+		t.Fatal("SLC is 1 bit/cell")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Substrate{
+		{LevelsPerCell: 3, RawBER: 1e-3, ScrubIntervalMonths: 3},
+		{LevelsPerCell: 0, RawBER: 1e-3, ScrubIntervalMonths: 3},
+		{LevelsPerCell: 8, RawBER: 0.9, ScrubIntervalMonths: 3},
+		{LevelsPerCell: 8, RawBER: 1e-3, ScrubIntervalMonths: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("config %d must be rejected", i)
+		}
+	}
+}
+
+func TestCellsForBits(t *testing.T) {
+	s := Default()
+	// 512 bits with 11.7% overhead: 512*1.1171875/3 cells.
+	got := s.CellsForBits(512, 60.0/512)
+	want := 512 * (1 + 60.0/512) / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cells %v, want %v", got, want)
+	}
+	if s.CellsForBits(0, 0.5) != 0 {
+		t.Fatal("zero bits need zero cells")
+	}
+}
+
+func TestEffectiveRBERAtReference(t *testing.T) {
+	s := Default()
+	if got := s.EffectiveRBER(3); math.Abs(got-1e-3) > 1e-12 {
+		t.Fatalf("RBER at reference interval %g, want 1e-3", got)
+	}
+}
+
+func TestEffectiveRBERMonotoneInScrubInterval(t *testing.T) {
+	s := Default()
+	last := 0.0
+	for _, m := range []float64{0.5, 1, 3, 6, 12} {
+		cur := s.EffectiveRBER(m)
+		if cur <= last {
+			t.Fatalf("RBER must grow with scrub interval: %g at %v months", cur, m)
+		}
+		last = cur
+	}
+}
+
+func TestEffectiveRBERNeverBelowWriteRead(t *testing.T) {
+	s := Default()
+	if got := s.EffectiveRBER(0.001); got < s.RawBER/2 {
+		t.Fatalf("RBER %g below the write/read floor", got)
+	}
+}
+
+func TestDensityVsSLC(t *testing.T) {
+	s := Default()
+	// Perfect ECC with no overhead: 3x density (three bits per cell).
+	if got := s.DensityVsSLC(0); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("ideal density gain %v, want 3", got)
+	}
+	// BCH-16 everywhere (31.25%): 3/1.3125 = 2.2857x, the paper's uniform
+	// correction baseline ballpark.
+	got := s.DensityVsSLC(0.3125)
+	if math.Abs(got-3/1.3125) > 1e-9 {
+		t.Fatalf("uniform density gain %v", got)
+	}
+	// Variable correction (~17% effective overhead) must land around the
+	// paper's 2.57x.
+	if got := s.DensityVsSLC(0.167); got < 2.5 || got > 2.65 {
+		t.Fatalf("variable-correction density gain %v not near 2.57", got)
+	}
+}

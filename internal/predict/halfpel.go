@@ -1,0 +1,124 @@
+package predict
+
+import "videoapp/internal/frame"
+
+// Half-pel motion: motion vectors measured in half-pixel units, with
+// fractional samples produced by the H.264 6-tap filter (1,-5,20,20,-5,1)/32.
+// Functions ending in HP interpret MV components as half-pel; encoder and
+// decoder share them, so reconstructions stay bit-exact.
+
+// SampleHP returns the luma sample at half-pel coordinates (hx, hy), where
+// hx = 2·x + fx for integer pixel x and fractional bit fx. Out-of-frame
+// coordinates clamp, as for integer samples.
+func SampleHP(ref *frame.Frame, hx, hy int) uint8 {
+	ix, fx := floorDiv2(hx)
+	iy, fy := floorDiv2(hy)
+	switch {
+	case fx == 0 && fy == 0:
+		return ref.LumaAt(ix, iy)
+	case fx == 1 && fy == 0:
+		return sixTapH(ref, ix, iy)
+	case fx == 0 && fy == 1:
+		return sixTapV(ref, ix, iy)
+	default:
+		// Diagonal: average of the horizontal and vertical half samples,
+		// a deterministic simplification of H.264's 2D filter.
+		b := int(sixTapH(ref, ix, iy))
+		h := int(sixTapV(ref, ix, iy))
+		return uint8((b + h + 1) / 2)
+	}
+}
+
+func floorDiv2(v int) (int, int) {
+	f := v & 1
+	return (v - f) / 2, f
+}
+
+func sixTapH(ref *frame.Frame, x, y int) uint8 {
+	v := int(ref.LumaAt(x-2, y)) - 5*int(ref.LumaAt(x-1, y)) + 20*int(ref.LumaAt(x, y)) +
+		20*int(ref.LumaAt(x+1, y)) - 5*int(ref.LumaAt(x+2, y)) + int(ref.LumaAt(x+3, y))
+	return frame.ClampU8((v + 16) >> 5)
+}
+
+func sixTapV(ref *frame.Frame, x, y int) uint8 {
+	v := int(ref.LumaAt(x, y-2)) - 5*int(ref.LumaAt(x, y-1)) + 20*int(ref.LumaAt(x, y)) +
+		20*int(ref.LumaAt(x, y+1)) - 5*int(ref.LumaAt(x, y+2)) + int(ref.LumaAt(x, y+3))
+	return frame.ClampU8((v + 16) >> 5)
+}
+
+// CompensateHP writes the motion-compensated prediction for the rectangle at
+// (cx, cy) with the half-pel vector mv.
+func CompensateHP(dst []uint8, ref *frame.Frame, cx, cy, w, h int, mv MV) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dst[y*w+x] = SampleHP(ref, 2*(cx+x)+int(mv.X), 2*(cy+y)+int(mv.Y))
+		}
+	}
+}
+
+// CompensateBiHP averages two half-pel compensations (bi-prediction).
+func CompensateBiHP(dst []uint8, ref0, ref1 *frame.Frame, cx, cy, w, h int, mv0, mv1 MV) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := int(SampleHP(ref0, 2*(cx+x)+int(mv0.X), 2*(cy+y)+int(mv0.Y)))
+			b := int(SampleHP(ref1, 2*(cx+x)+int(mv1.X), 2*(cy+y)+int(mv1.Y)))
+			dst[y*w+x] = uint8((a + b + 1) / 2)
+		}
+	}
+}
+
+// SADHP computes the sum of absolute differences for a half-pel vector.
+func SADHP(cur, ref *frame.Frame, cx, cy, w, h int, mv MV) int {
+	sad := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(cur.LumaAt(cx+x, cy+y)) - int(SampleHP(ref, 2*(cx+x)+int(mv.X), 2*(cy+y)+int(mv.Y)))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// MotionSearchHP finds the best half-pel vector: an integer-pel search
+// seeded at the prediction, followed by a one-step half-pel refinement of
+// the eight fractional neighbors. pred and the result are in half-pel units.
+func MotionSearchHP(cur, ref *frame.Frame, cx, cy, w, h int, pred MV, searchRange int) (MV, int) {
+	intPred := MV{X: pred.X / 2, Y: pred.Y / 2}
+	intBest, _ := MotionSearch(cur, ref, cx, cy, w, h, intPred, searchRange)
+	best := MV{X: intBest.X * 2, Y: intBest.Y * 2}
+	cost := func(mv MV) int {
+		d := mv.Sub(pred)
+		return SADHP(cur, ref, cx, cy, w, h, mv) + int(abs16(d.X)) + int(abs16(d.Y))
+	}
+	bestCost := cost(best)
+	for _, d := range [8]MV{
+		{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+		{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+	} {
+		cand := ClampMV(best.Add(d))
+		if c := cost(cand); c < bestCost {
+			// Note: refinement is a single pass; the integer optimum plus
+			// one half step is within half a pel of the true optimum.
+			best, bestCost = cand, c
+		}
+	}
+	return best, bestCost
+}
+
+// FootprintHP reports the reference macroblocks of a half-pel compensation.
+// Each destination pixel is attributed to its floor integer source pixel;
+// the one-pixel tap fringe of the 6-tap filter is below the model's
+// macroblock-granularity resolution (§4.1) and ignored.
+func FootprintHP(refW, refH, cx, cy, rw, rh int, mv MV) []WeightedRef {
+	return Footprint(refW, refH, cx, cy, rw, rh, MV{X: floor2(mv.X), Y: floor2(mv.Y)})
+}
+
+func floor2(v int16) int16 {
+	if v >= 0 {
+		return v / 2
+	}
+	return (v - 1) / 2
+}

@@ -1,0 +1,156 @@
+// Package predict implements the pixel-prediction substrate of the codec:
+// directional intra prediction, block-based motion estimation, motion
+// compensation, median motion-vector prediction, and — crucially for
+// VideoApp — the computation of reference footprints: which source
+// macroblocks a prediction reads and with what pixel counts, which become
+// the weighted edges of the dependency graph.
+package predict
+
+import "videoapp/internal/frame"
+
+// IntraMode is a 16×16 luma intra prediction mode.
+type IntraMode int
+
+// Intra prediction modes, mirroring H.264's 16×16 luma modes.
+const (
+	IntraVertical IntraMode = iota
+	IntraHorizontal
+	IntraDC
+	IntraPlane
+	numIntraModes
+)
+
+// NumIntraModes is the count of intra modes (for validation of decoded values).
+const NumIntraModes = int(numIntraModes)
+
+// IntraPredict16 builds the 16×16 luma prediction for macroblock (mbx, mby)
+// from the reconstructed frame rec. Neighbor availability follows the scan
+// order: above requires mby > 0, left requires mbx > 0. Unavailable modes
+// fall back to DC with the available neighbors (or 128 with none), exactly as
+// the decoder will reproduce.
+func IntraPredict16(rec *frame.Frame, mbx, mby int, mode IntraMode) [256]uint8 {
+	return IntraPredict16Avail(rec, mbx, mby, mode, mby > 0, mbx > 0)
+}
+
+// IntraPredict16Avail is IntraPredict16 with explicit neighbor availability,
+// used when slices cut the prediction dependency at their boundary.
+func IntraPredict16Avail(rec *frame.Frame, mbx, mby int, mode IntraMode, hasAbove, hasLeft bool) [256]uint8 {
+	var out [256]uint8
+	px, py := mbx*frame.MBSize, mby*frame.MBSize
+	switch {
+	case mode == IntraVertical && hasAbove:
+		for x := 0; x < 16; x++ {
+			v := rec.LumaAt(px+x, py-1)
+			for y := 0; y < 16; y++ {
+				out[y*16+x] = v
+			}
+		}
+	case mode == IntraHorizontal && hasLeft:
+		for y := 0; y < 16; y++ {
+			v := rec.LumaAt(px-1, py+y)
+			for x := 0; x < 16; x++ {
+				out[y*16+x] = v
+			}
+		}
+	case mode == IntraPlane && hasAbove && hasLeft:
+		// Simplified plane fit through the neighbor row and column.
+		var h, v int
+		for i := 1; i <= 8; i++ {
+			h += i * (int(rec.LumaAt(px+7+i, py-1)) - int(rec.LumaAt(px+7-i, py-1)))
+			v += i * (int(rec.LumaAt(px-1, py+7+i)) - int(rec.LumaAt(px-1, py+7-i)))
+		}
+		a := 16 * (int(rec.LumaAt(px+15, py-1)) + int(rec.LumaAt(px-1, py+15)))
+		b := (5*h + 32) >> 6
+		c := (5*v + 32) >> 6
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				out[y*16+x] = frame.ClampU8((a + b*(x-7) + c*(y-7) + 16) >> 5)
+			}
+		}
+	default:
+		// DC (and the fallback for unavailable directional modes).
+		sum, n := 0, 0
+		if hasAbove {
+			for x := 0; x < 16; x++ {
+				sum += int(rec.LumaAt(px+x, py-1))
+			}
+			n += 16
+		}
+		if hasLeft {
+			for y := 0; y < 16; y++ {
+				sum += int(rec.LumaAt(px-1, py+y))
+			}
+			n += 16
+		}
+		dc := uint8(128)
+		if n > 0 {
+			dc = uint8((sum + n/2) / n)
+		}
+		for i := range out {
+			out[i] = dc
+		}
+	}
+	return out
+}
+
+// BestIntraMode evaluates all intra modes against the original pixels and
+// returns the mode with the lowest SAD, its prediction, and the SAD value.
+func BestIntraMode(orig, rec *frame.Frame, mbx, mby int) (IntraMode, [256]uint8, int) {
+	return BestIntraModeAvail(orig, rec, mbx, mby, mby > 0, mbx > 0)
+}
+
+// BestIntraModeAvail is BestIntraMode with explicit neighbor availability.
+func BestIntraModeAvail(orig, rec *frame.Frame, mbx, mby int, hasAbove, hasLeft bool) (IntraMode, [256]uint8, int) {
+	px, py := mbx*frame.MBSize, mby*frame.MBSize
+	bestMode, bestSAD := IntraDC, 1<<30
+	var bestPred [256]uint8
+	for m := IntraMode(0); m < numIntraModes; m++ {
+		pred := IntraPredict16Avail(rec, mbx, mby, m, hasAbove, hasLeft)
+		sad := 0
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				d := int(orig.LumaAt(px+x, py+y)) - int(pred[y*16+x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestSAD {
+			bestMode, bestSAD, bestPred = m, sad, pred
+		}
+	}
+	return bestMode, bestPred, bestSAD
+}
+
+// IntraFootprint returns the dependency weights of an intra-predicted
+// macroblock on its source macroblocks: the neighbor MBs contributing
+// reference pixels, weighted by pixel share as in §4.1 of the paper.
+// The returned weights sum to 1 when any neighbor is available.
+func IntraFootprint(mbx, mby, mbCols int, mode IntraMode) []WeightedRef {
+	return IntraFootprintAvail(mbx, mby, mbCols, mode, mby > 0, mbx > 0)
+}
+
+// IntraFootprintAvail is IntraFootprint with explicit neighbor availability.
+func IntraFootprintAvail(mbx, mby, mbCols int, mode IntraMode, hasAbove, hasLeft bool) []WeightedRef {
+	above := frame.MB{X: mbx, Y: mby - 1}
+	left := frame.MB{X: mbx - 1, Y: mby}
+	switch {
+	case mode == IntraVertical && hasAbove:
+		return []WeightedRef{{MB: above, Pixels: 256}}
+	case mode == IntraHorizontal && hasLeft:
+		return []WeightedRef{{MB: left, Pixels: 256}}
+	case mode == IntraPlane && hasAbove && hasLeft:
+		return []WeightedRef{{MB: above, Pixels: 128}, {MB: left, Pixels: 128}}
+	default:
+		switch {
+		case hasAbove && hasLeft:
+			return []WeightedRef{{MB: above, Pixels: 128}, {MB: left, Pixels: 128}}
+		case hasAbove:
+			return []WeightedRef{{MB: above, Pixels: 256}}
+		case hasLeft:
+			return []WeightedRef{{MB: left, Pixels: 256}}
+		}
+		return nil
+	}
+}

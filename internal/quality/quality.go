@@ -1,0 +1,280 @@
+// Package quality implements the objective video quality metrics used by the
+// evaluation: PSNR (the paper's reported metric), SSIM, MS-SSIM and a
+// pixel-domain VIF, each averaged across frames as is standard practice.
+// It stands in for the VQMT measurement tool used by the paper.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"videoapp/internal/frame"
+)
+
+// MaxPSNR caps reported PSNR for (near-)identical content, where the true
+// value is unbounded; 100 dB conventionally denotes "identical".
+const MaxPSNR = 100.0
+
+// PSNRFrame computes luma peak-signal-to-noise ratio between two frames.
+func PSNRFrame(a, b *frame.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("quality: frame sizes %dx%d vs %dx%d differ", a.W, a.H, b.W, b.H)
+	}
+	var se float64
+	for i := range a.Y {
+		d := float64(int(a.Y[i]) - int(b.Y[i]))
+		se += d * d
+	}
+	mse := se / float64(len(a.Y))
+	if mse == 0 {
+		return MaxPSNR, nil
+	}
+	p := 10 * math.Log10(255*255/mse)
+	if p > MaxPSNR {
+		p = MaxPSNR
+	}
+	return p, nil
+}
+
+// PSNR computes the average per-frame luma PSNR across two sequences,
+// following the paper's methodology (average PSNR across frames).
+func PSNR(a, b *frame.Sequence) (float64, error) {
+	if len(a.Frames) != len(b.Frames) {
+		return 0, fmt.Errorf("quality: sequence lengths %d vs %d differ", len(a.Frames), len(b.Frames))
+	}
+	if len(a.Frames) == 0 {
+		return 0, fmt.Errorf("quality: empty sequences")
+	}
+	var sum float64
+	for i := range a.Frames {
+		p, err := PSNRFrame(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(a.Frames)), nil
+}
+
+// SSIM constants per the original paper (k1=0.01, k2=0.03, L=255).
+const (
+	ssimC1 = (0.01 * 255) * (0.01 * 255)
+	ssimC2 = (0.03 * 255) * (0.03 * 255)
+)
+
+// SSIMFrame computes mean structural similarity over 8×8 windows of the
+// luma plane.
+func SSIMFrame(a, b *frame.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("quality: frame sizes differ")
+	}
+	return ssimPlane(a.Y, b.Y, a.W, a.H), nil
+}
+
+func ssimPlane(ya, yb []uint8, w, h int) float64 {
+	const win = 8
+	var total float64
+	n := 0
+	for by := 0; by+win <= h; by += win {
+		for bx := 0; bx+win <= w; bx += win {
+			var sa, sb, saa, sbb, sab float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					pa := float64(ya[(by+y)*w+bx+x])
+					pb := float64(yb[(by+y)*w+bx+x])
+					sa += pa
+					sb += pb
+					saa += pa * pa
+					sbb += pb * pb
+					sab += pa * pb
+				}
+			}
+			np := float64(win * win)
+			ma, mb := sa/np, sb/np
+			va := saa/np - ma*ma
+			vb := sbb/np - mb*mb
+			cov := sab/np - ma*mb
+			s := ((2*ma*mb + ssimC1) * (2*cov + ssimC2)) /
+				((ma*ma + mb*mb + ssimC1) * (va + vb + ssimC2))
+			total += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return total / float64(n)
+}
+
+// SSIM averages SSIMFrame across the sequences.
+func SSIM(a, b *frame.Sequence) (float64, error) {
+	if len(a.Frames) != len(b.Frames) || len(a.Frames) == 0 {
+		return 0, fmt.Errorf("quality: sequence length mismatch")
+	}
+	var sum float64
+	for i := range a.Frames {
+		s, err := SSIMFrame(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(len(a.Frames)), nil
+}
+
+// msScaleWeights are the standard MS-SSIM scale weights (Wang et al.).
+var msScaleWeights = []float64{0.0448, 0.2856, 0.3001, 0.2363, 0.1333}
+
+// MSSSIMFrame computes multi-scale SSIM on the luma plane with up to five
+// dyadic scales (fewer for small frames).
+func MSSSIMFrame(a, b *frame.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("quality: frame sizes differ")
+	}
+	ya := append([]uint8(nil), a.Y...)
+	yb := append([]uint8(nil), b.Y...)
+	w, h := a.W, a.H
+	result := 1.0
+	used := 0.0
+	for s := 0; s < len(msScaleWeights); s++ {
+		if w < 16 || h < 16 {
+			break
+		}
+		v := ssimPlane(ya, yb, w, h)
+		if v < 0 {
+			v = 0
+		}
+		result *= math.Pow(v, msScaleWeights[s])
+		used += msScaleWeights[s]
+		ya, yb = downsample2(ya, w, h), downsample2(yb, w, h)
+		w, h = w/2, h/2
+	}
+	if used == 0 {
+		return ssimPlane(a.Y, b.Y, a.W, a.H), nil
+	}
+	// Renormalize so truncated pyramids stay on the same scale.
+	return math.Pow(result, 1/used), nil
+}
+
+func downsample2(y []uint8, w, h int) []uint8 {
+	nw, nh := w/2, h/2
+	out := make([]uint8, nw*nh)
+	for yy := 0; yy < nh; yy++ {
+		for xx := 0; xx < nw; xx++ {
+			s := int(y[(2*yy)*w+2*xx]) + int(y[(2*yy)*w+2*xx+1]) +
+				int(y[(2*yy+1)*w+2*xx]) + int(y[(2*yy+1)*w+2*xx+1])
+			out[yy*nw+xx] = uint8((s + 2) / 4)
+		}
+	}
+	return out
+}
+
+// MSSSIM averages MSSSIMFrame across the sequences.
+func MSSSIM(a, b *frame.Sequence) (float64, error) {
+	if len(a.Frames) != len(b.Frames) || len(a.Frames) == 0 {
+		return 0, fmt.Errorf("quality: sequence length mismatch")
+	}
+	var sum float64
+	for i := range a.Frames {
+		s, err := MSSSIMFrame(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(len(a.Frames)), nil
+}
+
+// VIFFrame computes a pixel-domain Visual Information Fidelity score over
+// 8×8 windows: the ratio of information the distorted image preserves about
+// the (Gaussian-modelled) source. 1 means no loss; 0 means everything lost.
+func VIFFrame(a, b *frame.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("quality: frame sizes differ")
+	}
+	const win = 8
+	const sigmaN = 2.0 // HVS noise variance
+	var num, den float64
+	w, h := a.W, a.H
+	for by := 0; by+win <= h; by += win {
+		for bx := 0; bx+win <= w; bx += win {
+			var sa, sb, saa, sbb, sab float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					pa := float64(a.Y[(by+y)*w+bx+x])
+					pb := float64(b.Y[(by+y)*w+bx+x])
+					sa += pa
+					sb += pb
+					saa += pa * pa
+					sbb += pb * pb
+					sab += pa * pb
+				}
+			}
+			np := float64(win * win)
+			ma, mb := sa/np, sb/np
+			va := saa/np - ma*ma
+			vb := sbb/np - mb*mb
+			cov := sab/np - ma*mb
+			if va < 1e-10 {
+				continue
+			}
+			g := cov / (va + 1e-10)
+			sv := vb - g*cov
+			if g < 0 {
+				g, sv = 0, vb
+			}
+			if sv < 0 {
+				sv = 0
+			}
+			num += math.Log2(1 + g*g*va/(sv+sigmaN))
+			den += math.Log2(1 + va/sigmaN)
+		}
+	}
+	if den == 0 {
+		return 1, nil
+	}
+	return num / den, nil
+}
+
+// VIF averages VIFFrame across the sequences.
+func VIF(a, b *frame.Sequence) (float64, error) {
+	if len(a.Frames) != len(b.Frames) || len(a.Frames) == 0 {
+		return 0, fmt.Errorf("quality: sequence length mismatch")
+	}
+	var sum float64
+	for i := range a.Frames {
+		s, err := VIFFrame(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(len(a.Frames)), nil
+}
+
+// Report bundles all metrics for one comparison.
+type Report struct {
+	PSNR   float64
+	SSIM   float64
+	MSSSIM float64
+	VIF    float64
+}
+
+// Measure computes every supported metric between reference and distorted.
+func Measure(ref, dist *frame.Sequence) (Report, error) {
+	var r Report
+	var err error
+	if r.PSNR, err = PSNR(ref, dist); err != nil {
+		return r, err
+	}
+	if r.SSIM, err = SSIM(ref, dist); err != nil {
+		return r, err
+	}
+	if r.MSSSIM, err = MSSSIM(ref, dist); err != nil {
+		return r, err
+	}
+	if r.VIF, err = VIF(ref, dist); err != nil {
+		return r, err
+	}
+	return r, nil
+}

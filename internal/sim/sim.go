@@ -1,0 +1,138 @@
+// Package sim provides the Monte-Carlo machinery of §6.4: reproducible
+// random error placement with exact binomial statistics (via geometric
+// skipping), multi-run experiment execution, and the paper's scaling rule
+// for very low error rates (guarantee at least one flip, then scale the
+// measured loss by the probability that any flip occurs).
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"videoapp/internal/bitio"
+)
+
+// DefaultRuns is the paper's Monte-Carlo repetition count per video.
+const DefaultRuns = 30
+
+// Geometric samples the number of failures before the first success of a
+// Bernoulli(p) process (support {0, 1, 2, ...}).
+func Geometric(rng *rand.Rand, p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt64
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int64(math.Log(u) / math.Log1p(-p))
+}
+
+// ErrorPositions returns the positions of iid Bernoulli(p) errors among n
+// Bernoulli trials, using geometric jumps. The count of returned positions
+// is exactly Binomial(n, p)-distributed.
+func ErrorPositions(rng *rand.Rand, n int64, p float64) []int64 {
+	var out []int64
+	pos := Geometric(rng, p)
+	for pos < n {
+		out = append(out, pos)
+		pos += 1 + Geometric(rng, p)
+	}
+	return out
+}
+
+// FlipIID flips each of the first bits bits of buf independently with
+// probability p and returns the number of flips.
+func FlipIID(rng *rand.Rand, buf []byte, bits int64, p float64) int {
+	if bits > int64(len(buf))*8 {
+		bits = int64(len(buf)) * 8
+	}
+	positions := ErrorPositions(rng, bits, p)
+	for _, pos := range positions {
+		bitio.FlipBit(buf, pos)
+	}
+	return len(positions)
+}
+
+// ForcedFlip describes the §6.4 low-rate methodology: when p·bits is so
+// small that most runs see no error, inject exactly one flip at a uniform
+// position and scale the measured quality loss by the probability that at
+// least one error occurs in a video of this size.
+type ForcedFlip struct {
+	// Scale multiplies the measured quality loss.
+	Scale float64
+	// Position is the injected flip position.
+	Position int64
+}
+
+// AnyErrorProb returns 1 - (1-p)^bits, the probability that a stream of the
+// given size suffers at least one error.
+func AnyErrorProb(bits int64, p float64) float64 {
+	return -math.Expm1(float64(bits) * math.Log1p(-p))
+}
+
+// ForceOneFlip picks a uniform flip position and the §6.4 scale factor.
+func ForceOneFlip(rng *rand.Rand, bits int64, p float64) ForcedFlip {
+	return ForcedFlip{
+		Scale:    AnyErrorProb(bits, p),
+		Position: rng.Int63n(maxi64(bits, 1)),
+	}
+}
+
+// LowRateThreshold is the expected-flip count below which experiments switch
+// to the forced-flip methodology.
+const LowRateThreshold = 0.5
+
+// UseForcedFlip reports whether the forced-flip path should be used for a
+// stream of the given size at rate p.
+func UseForcedFlip(bits int64, p float64) bool {
+	return float64(bits)*p < LowRateThreshold
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Runner executes repeated stochastic trials with derived, reproducible
+// seeds and aggregates a scalar result.
+type Runner struct {
+	Seed int64
+	Runs int
+}
+
+// NewRunner returns a Runner with the paper's 30-run default.
+func NewRunner(seed int64) Runner { return Runner{Seed: seed, Runs: DefaultRuns} }
+
+// Result summarizes the runs.
+type Result struct {
+	Mean, Min, Max float64
+	N              int
+}
+
+// Run executes trial once per run with a distinct deterministic RNG and
+// aggregates the returned scalars.
+func (r Runner) Run(trial func(rng *rand.Rand) float64) Result {
+	res := Result{Min: math.Inf(1), Max: math.Inf(-1)}
+	for i := 0; i < r.Runs; i++ {
+		rng := rand.New(rand.NewSource(r.Seed + int64(i)*1_000_003))
+		v := trial(rng)
+		res.Mean += v
+		if v < res.Min {
+			res.Min = v
+		}
+		if v > res.Max {
+			res.Max = v
+		}
+		res.N++
+	}
+	if res.N > 0 {
+		res.Mean /= float64(res.N)
+	}
+	return res
+}

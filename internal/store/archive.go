@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+)
+
+// Archive is the complete at-rest representation of an approximately stored
+// video, split exactly along the paper's reliability boundary:
+//
+//   - Precise holds everything that must never be wrong: the container's
+//     sequence and frame headers (payload bytes zeroed) and the per-frame
+//     pivot tables. This region is stored with the strongest correction
+//     (BCH-16 in Table 1) and is a fraction of a percent of the total.
+//   - Streams holds the per-scheme payload substreams, each destined for
+//     cells protected at that scheme's level (and optionally encrypted per
+//     stream, §5.3).
+//
+// Restore is the exact inverse while the streams are intact; corrupted
+// stream bits flow back into the corresponding payload bits, which is
+// precisely the approximation model the experiments measure.
+type Archive struct {
+	Precise     []byte
+	PivotTables []byte
+	Streams     map[string][]byte
+	Bits        map[string]int64
+}
+
+// BuildArchive splits an analyzed video into its archive form.
+func BuildArchive(v *codec.Video, parts []core.FramePartition) (*Archive, error) {
+	ss, err := core.SplitStreams(v, parts)
+	if err != nil {
+		return nil, err
+	}
+	pivots, err := core.MarshalPartitions(parts)
+	if err != nil {
+		return nil, err
+	}
+	// Zero the payloads in the precise container: their bits live in the
+	// approximate streams.
+	blank := v.Clone()
+	for _, f := range blank.Frames {
+		for i := range f.Payload {
+			f.Payload[i] = 0
+		}
+	}
+	return &Archive{
+		Precise:     codec.Marshal(blank),
+		PivotTables: pivots,
+		Streams:     ss.Streams,
+		Bits:        ss.Bits,
+	}, nil
+}
+
+// Restore reassembles the video from the archive.
+func (a *Archive) Restore() (*codec.Video, []core.FramePartition, error) {
+	v, err := codec.Unmarshal(a.Precise)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: precise region: %w", err)
+	}
+	parts, err := core.UnmarshalPartitions(a.PivotTables)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: pivot tables: %w", err)
+	}
+	if len(parts) != len(v.Frames) {
+		return nil, nil, fmt.Errorf("store: %d pivot tables for %d frames", len(parts), len(v.Frames))
+	}
+	ss := &core.StreamSet{Parts: parts, Streams: a.Streams, Bits: a.Bits}
+	merged, err := ss.Merge(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, parts, nil
+}
+
+// PreciseBytes is the size of the precisely-stored region, excluding the
+// zeroed payload placeholders (which occupy approximate cells).
+func (a *Archive) PreciseBytes() int {
+	var payload int64
+	for _, n := range a.Bits {
+		payload += n
+	}
+	return len(a.Precise) + len(a.PivotTables) - int(payload/8)
+}
+
+// ApproxBytes is the total size of the approximate streams.
+func (a *Archive) ApproxBytes() int {
+	n := 0
+	for _, s := range a.Streams {
+		n += len(s)
+	}
+	return n
+}

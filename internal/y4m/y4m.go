@@ -1,0 +1,149 @@
+// Package y4m reads and writes the YUV4MPEG2 (.y4m) uncompressed video
+// format used to distribute the Xiph.org test sequences the paper evaluates
+// on, so the tools can operate on real captures in addition to the synthetic
+// suite. Only the 4:2:0 chroma layout used by the codec is supported.
+package y4m
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"videoapp/internal/frame"
+)
+
+// Reader decodes a Y4M stream.
+type Reader struct {
+	br         *bufio.Reader
+	W, H, FPSN int
+	FPSD       int
+}
+
+// NewReader parses the stream header. Frames are then read with Next.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("y4m: reading stream header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("y4m: missing YUV4MPEG2 magic")
+	}
+	out := &Reader{br: br, FPSN: 25, FPSD: 1}
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		val := f[1:]
+		switch f[0] {
+		case 'W':
+			out.W, err = strconv.Atoi(val)
+		case 'H':
+			out.H, err = strconv.Atoi(val)
+		case 'F':
+			parts := strings.SplitN(val, ":", 2)
+			if len(parts) == 2 {
+				out.FPSN, _ = strconv.Atoi(parts[0])
+				out.FPSD, _ = strconv.Atoi(parts[1])
+			}
+		case 'C':
+			if !strings.HasPrefix(val, "420") {
+				return nil, fmt.Errorf("y4m: unsupported chroma layout C%s (only 4:2:0)", val)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("y4m: bad header field %q: %w", f, err)
+		}
+	}
+	if out.W <= 0 || out.H <= 0 {
+		return nil, fmt.Errorf("y4m: missing dimensions")
+	}
+	if out.W%frame.MBSize != 0 || out.H%frame.MBSize != 0 {
+		return nil, fmt.Errorf("y4m: %dx%d not a multiple of %d (crop or pad first)", out.W, out.H, frame.MBSize)
+	}
+	if out.FPSD <= 0 {
+		out.FPSD = 1
+	}
+	return out, nil
+}
+
+// FPS returns the integer frame rate (rounded).
+func (r *Reader) FPS() int {
+	return (r.FPSN + r.FPSD/2) / r.FPSD
+}
+
+// Next reads one frame, or io.EOF at end of stream.
+func (r *Reader) Next() (*frame.Frame, error) {
+	line, err := r.br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("y4m: reading frame header: %w", err)
+	}
+	if !strings.HasPrefix(line, "FRAME") {
+		return nil, fmt.Errorf("y4m: expected FRAME marker, got %q", strings.TrimSpace(line))
+	}
+	f := frame.MustNew(r.W, r.H)
+	for _, plane := range [][]uint8{f.Y, f.Cb, f.Cr} {
+		if _, err := io.ReadFull(r.br, plane); err != nil {
+			return nil, fmt.Errorf("y4m: truncated frame: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// ReadAll decodes the whole stream into a sequence.
+func ReadAll(r io.Reader, name string) (*frame.Sequence, error) {
+	yr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	seq := &frame.Sequence{Name: name, FPS: yr.FPS()}
+	for {
+		f, err := yr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		seq.Frames = append(seq.Frames, f)
+	}
+	if len(seq.Frames) == 0 {
+		return nil, fmt.Errorf("y4m: stream has no frames")
+	}
+	return seq, nil
+}
+
+// Write encodes the sequence as a Y4M stream.
+func Write(w io.Writer, seq *frame.Sequence) error {
+	if len(seq.Frames) == 0 {
+		return fmt.Errorf("y4m: empty sequence")
+	}
+	bw := bufio.NewWriter(w)
+	fps := seq.FPS
+	if fps <= 0 {
+		fps = 25
+	}
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 C420\n", seq.W(), seq.H(), fps); err != nil {
+		return err
+	}
+	for _, f := range seq.Frames {
+		if f.W != seq.W() || f.H != seq.H() {
+			return fmt.Errorf("y4m: inconsistent frame sizes")
+		}
+		if _, err := bw.WriteString("FRAME\n"); err != nil {
+			return err
+		}
+		for _, plane := range [][]uint8{f.Y, f.Cb, f.Cr} {
+			if _, err := bw.Write(plane); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

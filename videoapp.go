@@ -1,0 +1,239 @@
+// Package videoapp is the public API of the VideoApp reproduction: a
+// framework for approximate storage of compressed (and optionally encrypted)
+// videos, after "Approximate Storage of Compressed and Encrypted Videos"
+// (ASPLOS 2017).
+//
+// The pipeline mirrors the paper:
+//
+//	seq, err := videoapp.GenerateTestVideo("crew_like", 320, 176, 60)
+//	res, err := videoapp.NewPipeline().Process(seq)   // encode + analyze + partition
+//	decoded, flips, err := res.StoreRoundTrip(42)     // approximate MLC round trip
+//
+// Process encodes the raw sequence with an H.264-class codec, runs the
+// VideoApp dependency analysis to compute per-macroblock importance, derives
+// the per-frame pivot layout, and reports the physical storage footprint on
+// the MLC PCM substrate. StoreRoundTrip simulates a write-scrub-read cycle
+// with variable error correction and decodes the (possibly damaged) result.
+//
+// The underlying subsystems are exposed as type aliases so that advanced
+// users can drive them directly: the codec (Encode/Decode), the analysis
+// (Analyze), stream splitting for per-reliability encryption
+// (SplitStreams/EncryptStreams), quality metrics, and the error-correction
+// and substrate models.
+package videoapp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"videoapp/internal/bch"
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/cryptomode"
+	"videoapp/internal/frame"
+	"videoapp/internal/mlc"
+	"videoapp/internal/quality"
+	"videoapp/internal/store"
+	"videoapp/internal/synth"
+)
+
+// Re-exported core types. The aliases form the public surface; the internal
+// packages carry the implementations.
+type (
+	// Video is an encoded video with per-macroblock records.
+	Video = codec.Video
+	// Params configures the encoder.
+	Params = codec.Params
+	// Sequence is a raw YUV 4:2:0 video.
+	Sequence = frame.Sequence
+	// Frame is a raw YUV 4:2:0 picture.
+	Frame = frame.Frame
+	// Analysis is the per-macroblock importance map.
+	Analysis = core.Analysis
+	// ClassAssignment maps importance classes to ECC schemes.
+	ClassAssignment = core.ClassAssignment
+	// FramePartition is the per-frame pivot layout.
+	FramePartition = core.FramePartition
+	// StreamSet is the per-reliability multi-stream form of a video.
+	StreamSet = core.StreamSet
+	// Scheme is one error-correction configuration.
+	Scheme = bch.Scheme
+	// Substrate is the MLC storage cell model.
+	Substrate = mlc.Substrate
+	// StorageStats is the physical footprint of a stored video.
+	StorageStats = store.Stats
+	// QualityReport bundles PSNR/SSIM/MS-SSIM/VIF.
+	QualityReport = quality.Report
+	// CipherMode is an AES mode of operation.
+	CipherMode = cryptomode.Mode
+	// Archive is the at-rest form of an approximately stored video: a
+	// precise region (headers + pivot tables) and per-scheme approximate
+	// streams.
+	Archive = store.Archive
+)
+
+// BuildArchive splits an analyzed video into its at-rest archive form.
+func BuildArchive(v *Video, parts []FramePartition) (*Archive, error) {
+	return store.BuildArchive(v, parts)
+}
+
+// Entropy coder selections.
+const (
+	CABAC = codec.CABAC
+	CAVLC = codec.CAVLC
+)
+
+// AES modes of operation (§5).
+const (
+	ModeECB = cryptomode.ECB
+	ModeCBC = cryptomode.CBC
+	ModeOFB = cryptomode.OFB
+	ModeCTR = cryptomode.CTR
+)
+
+// DefaultParams returns the paper's standard-quality encoder configuration
+// (CRF 24, CABAC, no B frames).
+func DefaultParams() Params { return codec.DefaultParams() }
+
+// Encode compresses a raw sequence.
+func Encode(seq *Sequence, p Params) (*Video, error) { return codec.Encode(seq, p) }
+
+// EncodeParallel encodes GOPs concurrently (closed GOPs only, BFrames == 0)
+// and produces output bit-identical to Encode. workers <= 0 uses GOMAXPROCS.
+func EncodeParallel(seq *Sequence, p Params, workers int) (*Video, error) {
+	return codec.EncodeParallel(seq, p, workers)
+}
+
+// Decode reconstructs the display-order sequence; it is error-resilient and
+// never fails on corrupted payloads.
+func Decode(v *Video) (*Sequence, error) { return codec.Decode(v) }
+
+// Analyze computes per-macroblock importance (§4.3).
+func Analyze(v *Video) *Analysis { return core.Analyze(v, core.DefaultOptions()) }
+
+// PaperAssignment returns Table 1's importance-class → scheme mapping.
+func PaperAssignment() ClassAssignment { return core.PaperAssignment() }
+
+// UniformAssignment protects every bit precisely (the baseline design).
+func UniformAssignment() ClassAssignment { return core.UniformAssignment() }
+
+// SplitStreams separates a partitioned video into per-reliability streams
+// (§5.3), e.g. for independent encryption.
+func SplitStreams(v *Video, parts []FramePartition) (*StreamSet, error) {
+	return core.SplitStreams(v, parts)
+}
+
+// EncryptStreams encrypts each substream with an approximation-compatible
+// AES mode (OFB or CTR) under per-stream derived IVs.
+func EncryptStreams(ss *StreamSet, mode CipherMode, key, master []byte) (*cryptomode.EncryptedStreams, error) {
+	return cryptomode.EncryptStreams(ss, mode, key, master)
+}
+
+// Marshal serializes an encoded video into the self-contained container
+// format (precise headers followed by approximable payloads).
+func Marshal(v *Video) []byte { return codec.Marshal(v) }
+
+// Unmarshal parses a container produced by Marshal.
+func Unmarshal(data []byte) (*Video, error) { return codec.Unmarshal(data) }
+
+// Reanalyze rebuilds the per-macroblock analysis records of a video by
+// decoding it — the path for analyzing videos loaded with Unmarshal (the
+// paper's VideoApp accepts any encoded video as input, not only ones it
+// encoded itself).
+func Reanalyze(v *Video) error { return codec.Reanalyze(v) }
+
+// Measure computes all quality metrics between two sequences.
+func Measure(ref, dist *Sequence) (QualityReport, error) { return quality.Measure(ref, dist) }
+
+// PSNR computes the average luma PSNR between two sequences.
+func PSNR(ref, dist *Sequence) (float64, error) { return quality.PSNR(ref, dist) }
+
+// GenerateTestVideo renders one of the 14 synthetic suite sequences at the
+// given geometry. Unknown presets return an error; see PresetNames.
+func GenerateTestVideo(preset string, w, h, frames int) (*Sequence, error) {
+	cfg, ok := synth.PresetByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("videoapp: unknown preset %q", preset)
+	}
+	return synth.Generate(cfg.ScaleTo(w, h, frames)), nil
+}
+
+// PresetNames lists the available synthetic test sequences.
+func PresetNames() []string {
+	names := make([]string, len(synth.Presets))
+	for i, p := range synth.Presets {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Pipeline bundles the full paper workflow with overridable components.
+type Pipeline struct {
+	// Params configures the encoder (default: DefaultParams).
+	Params Params
+	// Assignment maps importance to ECC (default: PaperAssignment).
+	Assignment ClassAssignment
+	// Substrate is the storage cell model (default: 8-level MLC PCM).
+	Substrate Substrate
+}
+
+// NewPipeline returns a pipeline with the paper's defaults.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Params:     codec.DefaultParams(),
+		Assignment: core.PaperAssignment(),
+		Substrate:  mlc.Default(),
+	}
+}
+
+// Result is a processed video ready for approximate storage.
+type Result struct {
+	Video      *Video
+	Analysis   *Analysis
+	Partitions []FramePartition
+	Stats      StorageStats
+	pipeline   *Pipeline
+	pixels     int64
+}
+
+// Process encodes, analyzes and partitions a raw sequence, and computes its
+// storage footprint under the pipeline's assignment.
+func (p *Pipeline) Process(seq *Sequence) (*Result, error) {
+	v, err := codec.Encode(seq, p.Params)
+	if err != nil {
+		return nil, err
+	}
+	an := core.Analyze(v, core.DefaultOptions())
+	if err := an.CheckMonotone(); err != nil {
+		return nil, err
+	}
+	parts := an.Partition(p.Assignment)
+	sys, err := store.New(store.Config{Substrate: p.Substrate, Assignment: p.Assignment})
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sys.Footprint(v, parts, seq.PixelCount())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Video: v, Analysis: an, Partitions: parts, Stats: stats,
+		pipeline: p, pixels: seq.PixelCount(),
+	}, nil
+}
+
+// StoreRoundTrip simulates one approximate storage round trip (write, scrub
+// for the substrate's reference interval, read with residual errors) and
+// decodes the result.
+func (r *Result) StoreRoundTrip(seed int64) (*Sequence, int, error) {
+	sys, err := store.New(store.Config{Substrate: r.pipeline.Substrate, Assignment: r.pipeline.Assignment})
+	if err != nil {
+		return nil, 0, err
+	}
+	stored, flips, err := sys.Store(r.Video, r.Partitions, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, err := codec.Decode(stored)
+	return seq, flips, err
+}

@@ -1,0 +1,159 @@
+package videoapp
+
+import "testing"
+
+func TestGenerateTestVideo(t *testing.T) {
+	seq, err := GenerateTestVideo("crew_like", 64, 48, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Frames) != 6 || seq.W() != 64 {
+		t.Fatal("geometry")
+	}
+	if _, err := GenerateTestVideo("nope", 64, 48, 6); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+func TestPresetNames(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 14 {
+		t.Fatalf("%d presets", len(names))
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	seq, err := GenerateTestVideo("news_like", 96, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	p.Params.GOPSize = 10
+	p.Params.SearchRange = 8
+	res, err := p.Process(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CellsPerPixel <= 0 {
+		t.Fatal("no footprint")
+	}
+	if len(res.Partitions) != len(res.Video.Frames) {
+		t.Fatal("partitions")
+	}
+	dec, flips, err := res.StoreRoundTrip(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = flips
+	psnr, err := PSNR(seq, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 20 {
+		t.Fatalf("round-trip PSNR %.1f dB", psnr)
+	}
+}
+
+func TestFacadeEncodeDecode(t *testing.T) {
+	seq, _ := GenerateTestVideo("crew_like", 64, 48, 6)
+	p := DefaultParams()
+	p.GOPSize = 6
+	p.SearchRange = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Measure(seq, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PSNR < 25 || rep.SSIM < 0.7 {
+		t.Fatalf("quality %+v", rep)
+	}
+}
+
+func TestFacadeStreamsAndEncryption(t *testing.T) {
+	seq, _ := GenerateTestVideo("crew_like", 64, 48, 6)
+	p := DefaultParams()
+	p.GOPSize = 6
+	p.SearchRange = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(v)
+	parts := an.Partition(PaperAssignment())
+	ss, err := SplitStreams(v, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, 16)
+	es, err := EncryptStreams(ss, ModeCTR, key, []byte("master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := es.Decrypt(key, []byte("master"), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := back.Merge(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.TotalPayloadBits() != v.TotalPayloadBits() {
+		t.Fatal("payload size changed through encryption round trip")
+	}
+}
+
+func TestFacadeParallelEncode(t *testing.T) {
+	seq, _ := GenerateTestVideo("crew_like", 64, 48, 16)
+	p := DefaultParams()
+	p.GOPSize = 8
+	p.SearchRange = 8
+	serial, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := EncodeParallel(seq, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Marshal(serial), Marshal(parallel)
+	if len(a) != len(b) {
+		t.Fatal("parallel encode differs from serial")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel encode differs from serial")
+		}
+	}
+}
+
+func TestFacadeArchive(t *testing.T) {
+	seq, _ := GenerateTestVideo("news_like", 64, 48, 6)
+	p := NewPipeline()
+	p.Params.GOPSize = 6
+	p.Params.SearchRange = 8
+	res, err := p.Process(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := BuildArchive(res.Video, res.Partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, parts, err := ar.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != len(res.Partitions) {
+		t.Fatal("partitions lost")
+	}
+	if restored.TotalPayloadBits() != res.Video.TotalPayloadBits() {
+		t.Fatal("payload size changed")
+	}
+}
