@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build test race bench-parallel fmt vet
+
+# check is the full verification gate: vet, build, race-enabled tests.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench-parallel emits benchstat-friendly serial-vs-parallel numbers for
+# every concurrent pipeline stage:
+#
+#	make bench-parallel > par.txt
+#	benchstat -col /workers par.txt
+bench-parallel:
+	$(GO) test -run='^$$' -bench=BenchmarkParallel -count=10 -benchmem .

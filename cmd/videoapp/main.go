@@ -19,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"videoapp"
 	"videoapp/internal/quality"
@@ -42,6 +44,7 @@ type options struct {
 	halfpel bool
 	deblock bool
 	seed    int64
+	workers int
 }
 
 func main() {
@@ -60,13 +63,17 @@ func main() {
 	flag.BoolVar(&o.halfpel, "halfpel", false, "half-pel motion compensation")
 	flag.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
 	flag.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
+	flag.IntVar(&o.workers, "workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "store"
 	}
-	if err := run(cmd, o); err != nil {
+	// Ctrl-C cancels the pipeline cooperatively at the next frame boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, cmd, o); err != nil {
 		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
 		os.Exit(1)
 	}
@@ -101,7 +108,7 @@ func (o options) loadRaw() (*videoapp.Sequence, error) {
 
 // loadVideo returns an encoded video: a .vapp container (reanalyzed) or a
 // fresh encode of the raw input.
-func (o options) loadVideo() (*videoapp.Video, *videoapp.Sequence, error) {
+func (o options) loadVideo(ctx context.Context) (*videoapp.Video, *videoapp.Sequence, error) {
 	if o.in != "" && looksLikeContainer(o.in) {
 		data, err := os.ReadFile(o.in)
 		if err != nil {
@@ -120,7 +127,7 @@ func (o options) loadVideo() (*videoapp.Video, *videoapp.Sequence, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	v, err := videoapp.Encode(seq, o.params())
+	v, err := videoapp.EncodeContext(ctx, seq, o.params(), o.workers)
 	return v, seq, err
 }
 
@@ -137,7 +144,7 @@ func looksLikeContainer(path string) bool {
 	return string(magic[:]) == "VAPP"
 }
 
-func run(cmd string, o options) error {
+func run(ctx context.Context, cmd string, o options) error {
 	switch cmd {
 	case "presets":
 		for _, n := range videoapp.PresetNames() {
@@ -155,7 +162,7 @@ func run(cmd string, o options) error {
 		if err != nil {
 			return err
 		}
-		v, err := videoapp.Encode(seq, o.params())
+		v, err := videoapp.EncodeContext(ctx, seq, o.params(), o.workers)
 		if err != nil {
 			return err
 		}
@@ -163,11 +170,11 @@ func run(cmd string, o options) error {
 		fmt.Printf("encoded %d frames: %d payload bits (%.3f bits/pixel), container %d bytes\n",
 			len(v.Frames), v.TotalPayloadBits(),
 			float64(v.TotalPayloadBits())/float64(seq.PixelCount()), len(data))
-		clean, err := videoapp.Decode(v)
+		clean, err := videoapp.DecodeContext(ctx, v, o.workers)
 		if err != nil {
 			return err
 		}
-		rep, err := videoapp.Measure(seq, clean)
+		rep, err := videoapp.MeasureContext(ctx, seq, clean, o.workers)
 		if err != nil {
 			return err
 		}
@@ -178,17 +185,17 @@ func run(cmd string, o options) error {
 		}
 		return nil
 	case "decode":
-		v, _, err := o.loadVideo()
+		v, _, err := o.loadVideo(ctx)
 		if err != nil {
 			return err
 		}
-		seq, err := videoapp.Decode(v)
+		seq, err := videoapp.DecodeContext(ctx, v, o.workers)
 		if err != nil {
 			return err
 		}
 		return writeOut(o.out, func(f *os.File) error { return y4m.Write(f, seq) })
 	case "info":
-		v, _, err := o.loadVideo()
+		v, _, err := o.loadVideo(ctx)
 		if err != nil {
 			return err
 		}
@@ -202,18 +209,24 @@ func run(cmd string, o options) error {
 		fmt.Printf("payload: %d bits, headers: %d bits\n", v.TotalPayloadBits(), v.HeaderBits())
 		return nil
 	case "heatmap":
-		v, _, err := o.loadVideo()
+		v, _, err := o.loadVideo(ctx)
 		if err != nil {
 			return err
 		}
-		an := videoapp.Analyze(v)
+		an, err := videoapp.AnalyzeContext(ctx, v, o.workers)
+		if err != nil {
+			return err
+		}
 		return writeOut(o.out, func(f *os.File) error { return writeHeatmapPGM(f, v, an) })
 	case "analyze":
-		v, _, err := o.loadVideo()
+		v, _, err := o.loadVideo(ctx)
 		if err != nil {
 			return err
 		}
-		an := videoapp.Analyze(v)
+		an, err := videoapp.AnalyzeContext(ctx, v, o.workers)
+		if err != nil {
+			return err
+		}
 		parts := an.Partition(videoapp.PaperAssignment())
 		fmt.Printf("max importance: %.0f MBs\n", an.MaxImportance())
 		for f, fp := range parts {
@@ -231,21 +244,23 @@ func run(cmd string, o options) error {
 		}
 		return nil
 	case "store":
-		v, seq, err := o.loadVideo()
+		v, seq, err := o.loadVideo(ctx)
 		if err != nil {
 			return err
 		}
-		p := videoapp.NewPipeline()
-		p.Params = v.Params
+		p := videoapp.NewPipeline(
+			videoapp.WithParams(v.Params),
+			videoapp.WithWorkers(o.workers),
+		)
 		if seq == nil {
 			// Container input: measure against the clean decode.
-			clean, err := videoapp.Decode(v)
+			clean, err := videoapp.DecodeContext(ctx, v, o.workers)
 			if err != nil {
 				return err
 			}
 			seq = clean
 		}
-		res, err := p.Process(seq)
+		res, err := p.ProcessContext(ctx, seq)
 		if err != nil {
 			return err
 		}
@@ -254,11 +269,11 @@ func run(cmd string, o options) error {
 		for name, bits := range res.Stats.PerScheme {
 			fmt.Printf("  %-7s %12d bits\n", name, bits)
 		}
-		clean, err := videoapp.Decode(res.Video)
+		clean, err := videoapp.DecodeContext(ctx, res.Video, o.workers)
 		if err != nil {
 			return err
 		}
-		dec, flips, err := res.StoreRoundTrip(o.seed)
+		dec, flips, err := res.StoreRoundTripContext(ctx, o.seed)
 		if err != nil {
 			return err
 		}

@@ -1,11 +1,11 @@
 package codec
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"videoapp/internal/frame"
+	"videoapp/internal/par"
 )
 
 // EncodeParallel encodes GOPs concurrently and produces a video bit-exactly
@@ -14,6 +14,13 @@ import (
 // itself, so GOPs are independent units of work. workers <= 0 selects
 // GOMAXPROCS.
 func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) {
+	return EncodeParallelContext(context.Background(), seq, p, workers)
+}
+
+// EncodeParallelContext is EncodeParallel with cooperative cancellation:
+// ctx is checked at GOP boundaries, and a cancelled context aborts the
+// remaining GOPs and returns ctx.Err().
+func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, workers int) (*Video, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -22,9 +29,6 @@ func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) 
 	}
 	if len(seq.Frames) == 0 {
 		return nil, fmt.Errorf("codec: empty sequence")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	// Chunk the display frames into GOPs.
 	type chunk struct {
@@ -41,24 +45,15 @@ func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) 
 	}
 
 	videos := make([]*Video, len(chunks))
-	errs := make([]error, len(chunks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for ci, ch := range chunks {
-		wg.Add(1)
-		go func(ci int, ch chunk) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sub := &frame.Sequence{Name: seq.Name, FPS: seq.FPS, Frames: seq.Frames[ch.start:ch.end]}
-			videos[ci], errs[ci] = Encode(sub, p)
-		}(ci, ch)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := par.ForEach(ctx, len(chunks), workers, func(ci int) error {
+		ch := chunks[ci]
+		sub := &frame.Sequence{Name: seq.Name, FPS: seq.FPS, Frames: seq.Frames[ch.start:ch.end]}
+		var err error
+		videos[ci], err = Encode(sub, p)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Stitch: shift frame indices and dependency references by the chunk's
@@ -85,4 +80,85 @@ func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) 
 		base += chunks[ci].end - chunks[ci].start
 	}
 	return out, nil
+}
+
+// headerRefSpans partitions the coded order into maximal runs whose frames
+// reference (via their precisely-stored header refs) no frame outside the
+// run, in either direction. Each run is then an independent decode unit: a
+// closed-GOP video splits at every I frame, while a video with arbitrary
+// (e.g. corrupted-container) reference structure degrades gracefully toward
+// a single serial span. Only the headers matter — payload corruption cannot
+// move a span boundary, so parallel decode of a damaged video stays exactly
+// as resilient as serial decode.
+func headerRefSpans(v *Video) [][2]int {
+	n := len(v.Frames)
+	if n == 0 {
+		return nil
+	}
+	// A cut before frame c is sound iff no frame at or after c references a
+	// frame before c (suffix min) AND no frame before c references a frame
+	// at or after c (prefix max). The second direction matters for
+	// malformed inputs: a forward reference must observe the same
+	// "not yet decoded" nil the serial pass sees, never a speculatively
+	// decoded frame from a later span. Out-of-range refs never resolve to a
+	// frame, so they are ignored.
+	sufMin := make([]int, n+1)
+	sufMin[n] = n
+	for i := n - 1; i >= 0; i-- {
+		m := sufMin[i+1]
+		for _, r := range [2]int{v.Frames[i].RefFwd, v.Frames[i].RefBwd} {
+			if validFrameRef(r, n) && r < m {
+				m = r
+			}
+		}
+		sufMin[i] = m
+	}
+	var spans [][2]int
+	start, preMax := 0, -1
+	for c := 1; c < n; c++ {
+		for _, r := range [2]int{v.Frames[c-1].RefFwd, v.Frames[c-1].RefBwd} {
+			if validFrameRef(r, n) && r > preMax {
+				preMax = r
+			}
+		}
+		if sufMin[c] >= c && preMax < c {
+			spans = append(spans, [2]int{start, c})
+			start = c
+		}
+	}
+	return append(spans, [2]int{start, n})
+}
+
+// DecodeParallel decodes independent closed-GOP spans concurrently and is
+// bit- and pixel-identical to Decode for any input, including corrupted
+// payloads. workers <= 0 selects GOMAXPROCS.
+func DecodeParallel(v *Video, workers int) (*frame.Sequence, error) {
+	return DecodeContext(context.Background(), v, DecodeOptions{}, workers)
+}
+
+// DecodeContext is the parallel decoder with explicit options and
+// cooperative cancellation checked at frame boundaries.
+func DecodeContext(ctx context.Context, v *Video, opts DecodeOptions, workers int) (*frame.Sequence, error) {
+	if v.W%frame.MBSize != 0 || v.H%frame.MBSize != 0 || v.W <= 0 || v.H <= 0 {
+		return nil, errFrameGeometry(v.W, v.H)
+	}
+	// Spans never share reference frames, so each goroutine touches only its
+	// own disjoint range of rec; within a span frames decode in coded order,
+	// exactly as the serial pass does.
+	rec := make([]*frame.Frame, len(v.Frames))
+	spans := headerRefSpans(v)
+	err := par.ForEach(ctx, len(spans), workers, func(si int) error {
+		sp := spans[si]
+		for i := sp[0]; i < sp[1]; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			rec[i] = decodeSingleOpts(v, i, rec, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return RecsToDisplay(v, rec)
 }

@@ -2,7 +2,11 @@ package codec
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+
+	"videoapp/internal/frame"
 )
 
 func TestEncodeParallelBitExact(t *testing.T) {
@@ -75,6 +79,179 @@ func TestEncodeParallelPartialFinalGOP(t *testing.T) {
 	}
 	if v.Frames[8].Type != FrameI {
 		t.Fatal("second GOP must start with I")
+	}
+}
+
+// sameSequences fails the test unless the two sequences match pixel-exactly.
+func sameSequences(t *testing.T, label string, a, b *frame.Sequence) {
+	t.Helper()
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("%s: frame count %d vs %d", label, len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if !bytes.Equal(a.Frames[i].Y, b.Frames[i].Y) ||
+			!bytes.Equal(a.Frames[i].Cb, b.Frames[i].Cb) ||
+			!bytes.Equal(a.Frames[i].Cr, b.Frames[i].Cr) {
+			t.Fatalf("%s: decoded frame %d differs", label, i)
+		}
+	}
+}
+
+func TestDecodeParallelBitExact(t *testing.T) {
+	seq := testSeq(t, "crew_like", 96, 64, 25)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"base", func(p *Params) {}},
+		{"slices", func(p *Params) { p.SlicesPerFrame = 2 }},
+		{"halfpel_deblock", func(p *Params) { p.HalfPel = true; p.Deblock = true }},
+		{"cavlc", func(p *Params) { p.Entropy = CAVLC }},
+		{"bframes", func(p *Params) { p.BFrames = 2; p.GOPSize = 6 }},
+	} {
+		p := testParams()
+		p.GOPSize = 8
+		tc.mut(&p)
+		v, err := Encode(seq, p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		serial, err := Decode(v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			parallel, err := DecodeParallel(v, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			sameSequences(t, tc.name, serial, parallel)
+		}
+	}
+}
+
+func TestDecodeParallelCorruptedPayload(t *testing.T) {
+	seq := testSeq(t, "sports_like", 96, 64, 24)
+	p := testParams()
+	p.GOPSize = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a deterministic scatter of payload bits in every frame; the
+	// parallel decoder must interpret the garbage identically to the serial
+	// one (desync, propagation and all).
+	for fi, ef := range v.Frames {
+		for _, bit := range []int{7, 101, 1031} {
+			if pos := bit + 13*fi; pos < len(ef.Payload)*8 {
+				ef.Payload[pos/8] ^= 1 << (7 - uint(pos%8))
+			}
+		}
+	}
+	serial, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		parallel, err := DecodeParallel(v, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSequences(t, "corrupted", serial, parallel)
+	}
+	// Concealment mode takes a different per-frame path; it must stay
+	// equivalent too.
+	serialC, err := DecodeWithOptions(v, DecodeOptions{ConcealOnDesync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelC, err := DecodeContext(context.Background(), v, DecodeOptions{ConcealOnDesync: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSequences(t, "concealed", serialC, parallelC)
+}
+
+func TestHeaderRefSpans(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 20)
+	p := testParams()
+	p.GOPSize = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := headerRefSpans(v)
+	want := [][2]int{{0, 8}, {8, 16}, {16, 20}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans %v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("spans %v, want %v", spans, want)
+		}
+	}
+	// A forward reference across the first GOP boundary must keep frames 3
+	// and 9 in one span (no cut may separate a frame from its forward ref,
+	// which has to be observed as "not yet decoded", exactly as in serial
+	// decode). The frames before the dangling ref split off; the 8..16 GOP
+	// merges in.
+	v.Frames[3].RefFwd = 9
+	spans = headerRefSpans(v)
+	want = [][2]int{{0, 3}, {3, 16}, {16, 20}}
+	if len(spans) != len(want) {
+		t.Fatalf("forward ref not honoured: %v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("forward ref not honoured: %v, want %v", spans, want)
+		}
+	}
+	serial, err := Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := DecodeParallel(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSequences(t, "forward-ref", serial, parallel)
+	// Out-of-range refs never resolve to a frame and must not affect
+	// spanning: restoring frame 3 and pointing an unused backward ref past
+	// the end of the video must yield the original GOP spans.
+	v.Frames[3].RefFwd = 2
+	v.Frames[5].RefBwd = 1 << 20
+	got := headerRefSpans(v)
+	want = [][2]int{{0, 8}, {8, 16}, {16, 20}}
+	for i := range want {
+		if len(got) != len(want) || got[i] != want[i] {
+			t.Fatalf("out-of-range ref affected spans: %v", got)
+		}
+	}
+}
+
+func TestDecodeContextCancelled(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 8)
+	p := testParams()
+	p.GOPSize = 4
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecodeContext(ctx, v, DecodeOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEncodeParallelContextCancelled(t *testing.T) {
+	seq := testSeq(t, "news_like", 64, 48, 8)
+	p := testParams()
+	p.GOPSize = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EncodeParallelContext(ctx, seq, p, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
 	}
 }
 

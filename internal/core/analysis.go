@@ -12,11 +12,26 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"videoapp/internal/bch"
 	"videoapp/internal/codec"
+	"videoapp/internal/par"
+)
+
+// Sentinel errors for the analysis and partitioning layer. They are wrapped
+// with context (frame numbers, counts) at every return site; match with
+// errors.Is.
+var (
+	// ErrPartitionMismatch reports a partition list whose length does not
+	// match the video's frame count.
+	ErrPartitionMismatch = errors.New("partition count does not match frame count")
+	// ErrNonMonotone reports a violation of the §4.4 invariant that
+	// importance never increases in scan order within a slice.
+	ErrNonMonotone = errors.New("importance is not monotone non-increasing in scan order")
 )
 
 // Options tunes the analysis.
@@ -45,6 +60,64 @@ type Analysis struct {
 
 // Analyze runs the VideoApp dependency analysis on an encoded video.
 func Analyze(v *codec.Video, opts Options) *Analysis {
+	// A background context and a single worker cannot fail.
+	an, _ := AnalyzeContext(context.Background(), v, opts, 1)
+	return an
+}
+
+// depSpans partitions the coded order into maximal frame runs whose
+// compensation dependencies stay inside the run, in either direction. For a
+// closed-GOP video the runs are exactly the GOPs; arbitrary (re-analyzed or
+// malformed) dependency structures degrade gracefully toward one serial
+// span. Out-of-range source frames are skipped by the accumulation and are
+// therefore ignored here too.
+func depSpans(v *codec.Video) [][2]int {
+	n := len(v.Frames)
+	if n == 0 {
+		return nil
+	}
+	lo := make([]int, n) // lowest in-range dep source of frame i
+	hi := make([]int, n) // highest in-range dep source of frame i
+	for i, ef := range v.Frames {
+		lo[i], hi[i] = n, -1
+		for _, mb := range ef.MBs {
+			for _, d := range mb.Deps {
+				if d.SrcFrame < 0 || d.SrcFrame >= n {
+					continue
+				}
+				if d.SrcFrame < lo[i] {
+					lo[i] = d.SrcFrame
+				}
+				if d.SrcFrame > hi[i] {
+					hi[i] = d.SrcFrame
+				}
+			}
+		}
+	}
+	sufMin := make([]int, n+1)
+	sufMin[n] = n
+	for i := n - 1; i >= 0; i-- {
+		sufMin[i] = min(lo[i], sufMin[i+1])
+	}
+	var spans [][2]int
+	start, preMax := 0, -1
+	for c := 1; c < n; c++ {
+		preMax = max(preMax, hi[c-1])
+		if sufMin[c] >= c && preMax < c {
+			spans = append(spans, [2]int{start, c})
+			start = c
+		}
+	}
+	return append(spans, [2]int{start, n})
+}
+
+// AnalyzeContext is Analyze with GOP-level fan-out of the backward pass
+// (phase 1) and per-frame fan-out of the coding chain (phase 2), plus
+// cooperative cancellation checked at frame boundaries. Spans of the
+// dependency DAG are mutually independent, so every floating-point
+// accumulation happens in the same order as in the serial sweep and the
+// result is bit-identical at any worker count.
+func AnalyzeContext(ctx context.Context, v *codec.Video, opts Options, workers int) (*Analysis, error) {
 	nF := len(v.Frames)
 	imp := make([][]float64, nF)
 	for f, ef := range v.Frames {
@@ -61,42 +134,52 @@ func Analyze(v *codec.Video, opts Options) *Analysis {
 	// therefore visits every destination after all of its children, so its
 	// importance is final when we push contributions to its sources.
 	mbCols := v.MBCols()
-	for f := nF - 1; f >= 0; f-- {
-		ef := v.Frames[f]
-		for m := len(ef.MBs) - 1; m >= 0; m-- {
-			mb := &ef.MBs[m]
-			total := 0
-			for _, d := range mb.Deps {
-				total += d.Pixels
+	spans := depSpans(v)
+	err := par.ForEach(ctx, len(spans), workers, func(si int) error {
+		sp := spans[si]
+		for f := sp[1] - 1; f >= sp[0]; f-- {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			if total == 0 {
-				continue
-			}
-			for _, d := range mb.Deps {
-				w := float64(d.Pixels) / float64(total)
-				srcIdx := d.SrcMB.Index(mbCols)
-				if d.SrcFrame < 0 || d.SrcFrame >= nF {
+			ef := v.Frames[f]
+			for m := len(ef.MBs) - 1; m >= 0; m-- {
+				mb := &ef.MBs[m]
+				total := 0
+				for _, d := range mb.Deps {
+					total += d.Pixels
+				}
+				if total == 0 {
 					continue
 				}
-				if srcIdx < 0 || srcIdx >= len(imp[d.SrcFrame]) {
-					continue
+				for _, d := range mb.Deps {
+					w := float64(d.Pixels) / float64(total)
+					srcIdx := d.SrcMB.Index(mbCols)
+					if d.SrcFrame < 0 || d.SrcFrame >= nF {
+						continue
+					}
+					if srcIdx < 0 || srcIdx >= len(imp[d.SrcFrame]) {
+						continue
+					}
+					imp[d.SrcFrame][srcIdx] += w * imp[f][m]
 				}
-				imp[d.SrcFrame][srcIdx] += w * imp[f][m]
 			}
 		}
-	}
-	comp := make([][]float64, nF)
-	for f := range imp {
-		comp[f] = append([]float64(nil), imp[f]...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 2 (steps 5-8): coding graph — within each slice a weighted
 	// chain following the scan order (Figure 2c); the chain weight is 1 in
 	// the paper's damaged-area heuristic. With one slice per frame (the
 	// paper's conservative setting) the chain spans the whole frame; with
-	// slices enabled (§8) it resets at every slice boundary.
+	// slices enabled (§8) it resets at every slice boundary. Frames are
+	// independent here, so the fan-out is per frame.
+	comp := make([][]float64, nF)
 	cw := opts.CodingWeight
-	for f := 0; f < nF; f++ {
+	err = par.ForEach(ctx, nF, workers, func(f int) error {
+		comp[f] = append([]float64(nil), imp[f]...)
 		row := imp[f]
 		starts := sliceStartSet(v.Frames[f])
 		for m := len(row) - 2; m >= 0; m-- {
@@ -105,8 +188,12 @@ func Analyze(v *codec.Video, opts Options) *Analysis {
 			}
 			row[m] += cw * row[m+1]
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Analysis{Video: v, Importance: imp, CompImportance: comp, opts: opts}
+	return &Analysis{Video: v, Importance: imp, CompImportance: comp, opts: opts}, nil
 }
 
 // sliceStartSet returns the set of macroblock indices that begin a slice.
@@ -178,7 +265,7 @@ func (a *Analysis) CheckMonotone() error {
 				continue
 			}
 			if row[m] > row[m-1]+1e-9 {
-				return fmt.Errorf("core: frame %d: importance rises at MB %d (%.3f -> %.3f)", f, m, row[m-1], row[m])
+				return fmt.Errorf("core: %w: frame %d: rises at MB %d (%.3f -> %.3f)", ErrNonMonotone, f, m, row[m-1], row[m])
 			}
 		}
 	}

@@ -38,7 +38,7 @@ func (s *StreamSet) SchemeNames() []string {
 // according to the partition layout.
 func SplitStreams(v *codec.Video, parts []FramePartition) (*StreamSet, error) {
 	if len(parts) != len(v.Frames) {
-		return nil, fmt.Errorf("core: %d partitions for %d frames", len(parts), len(v.Frames))
+		return nil, fmt.Errorf("core: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
 	}
 	writers := map[string]*bitio.Writer{}
 	for f, ef := range v.Frames {
@@ -68,7 +68,7 @@ func SplitStreams(v *codec.Video, parts []FramePartition) (*StreamSet, error) {
 // OFB/CTR encryption composable.
 func (s *StreamSet) Merge(v *codec.Video) (*codec.Video, error) {
 	if len(s.Parts) != len(v.Frames) {
-		return nil, fmt.Errorf("core: %d partitions for %d frames", len(s.Parts), len(v.Frames))
+		return nil, fmt.Errorf("core: %w: %d partitions for %d frames", ErrPartitionMismatch, len(s.Parts), len(v.Frames))
 	}
 	cursors := map[string]int64{}
 	out := v.Clone()

@@ -1,0 +1,96 @@
+// Package par is the shared worker-pool helper behind every parallel path
+// in the system: GOP-parallel encoding and decoding, per-frame error
+// injection and footprint accounting, the analysis fan-out and the quality
+// metric workers. It provides deterministic, context-aware fan-out over an
+// index space with a bounded number of goroutines.
+//
+// Determinism contract: ForEach itself imposes no ordering between items, so
+// callers must make items independent (write to disjoint slice elements,
+// derive per-item RNGs from the item index) and perform any floating-point
+// or otherwise order-sensitive reduction themselves, in index order, after
+// ForEach returns. Under that discipline results are identical at every
+// worker count.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n), using at most workers concurrent
+// goroutines (workers <= 0 selects GOMAXPROCS; workers == 1 runs inline on
+// the calling goroutine with no scheduling overhead).
+//
+// Cancellation is cooperative: ctx is polled before each item, no new items
+// start after it is cancelled, and ctx.Err() is returned once the in-flight
+// items drain. When items fail, the error of the lowest failing index is
+// returned — the same error a serial loop would have surfaced first — and
+// no further items are scheduled.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package quality
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"videoapp/internal/frame"
+)
+
+// noisySequences builds a deterministic reference/distorted pair with
+// varied per-frame damage so every metric has real work to do.
+func noisySequences(frames int) (*frame.Sequence, *frame.Sequence) {
+	rng := rand.New(rand.NewSource(99))
+	ref := &frame.Sequence{Name: "ref"}
+	dist := &frame.Sequence{Name: "dist"}
+	for f := 0; f < frames; f++ {
+		a := frame.MustNew(96, 64)
+		b := frame.MustNew(96, 64)
+		for i := range a.Y {
+			v := uint8(rng.Intn(256))
+			a.Y[i] = v
+			b.Y[i] = frame.ClampU8(int(v) + rng.Intn(2*f+3) - (f + 1))
+		}
+		for i := range a.Cb {
+			a.Cb[i], a.Cr[i] = 128, 128
+			b.Cb[i], b.Cr[i] = 128, 128
+		}
+		ref.Frames = append(ref.Frames, a)
+		dist.Frames = append(dist.Frames, b)
+	}
+	return ref, dist
+}
+
+func TestMeasureContextBitIdentical(t *testing.T) {
+	ref, dist := noisySequences(13)
+	serial, err := Measure(ref, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MeasureContext(context.Background(), ref, dist, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial {
+			t.Fatalf("workers=%d: %+v != serial %+v", workers, got, serial)
+		}
+	}
+	p, err := PSNR(ref, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := PSNRContext(context.Background(), ref, dist, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("workers=%d: PSNR %v != serial %v", workers, got, p)
+		}
+	}
+}
+
+func TestMeasureContextErrors(t *testing.T) {
+	ref, dist := noisySequences(4)
+	if _, err := MeasureContext(context.Background(), ref, &frame.Sequence{}, 2); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	short := &frame.Sequence{Frames: append([]*frame.Frame(nil), dist.Frames...)}
+	short.Frames[2] = frame.MustNew(32, 32)
+	if _, err := MeasureContext(context.Background(), ref, short, 2); err == nil {
+		t.Fatal("frame geometry mismatch must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasureContext(ctx, ref, dist, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := PSNRContext(ctx, ref, dist, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}

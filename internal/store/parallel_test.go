@@ -1,0 +1,149 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/mlc"
+)
+
+// TestStoreSeededDeterministicAcrossWorkers is the core reproducibility
+// guarantee of the parallel storage path: for a fixed seed, the stored
+// payload bytes and the flip count are identical at every worker count.
+func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
+	v, _, parts, _ := buildVideo(t)
+	for _, cfg := range []Config{
+		{Substrate: mlc.Default(), Assignment: core.PaperAssignment()},
+		{Substrate: mlc.Default(), Assignment: core.PaperAssignment(), BlockAccurate: true},
+	} {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refFlips, err := s.StoreSeeded(v, parts, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refFlips <= 0 {
+			t.Fatalf("block-accurate=%v: expected some residual flips, got %d", cfg.BlockAccurate, refFlips)
+		}
+		for _, workers := range []int{2, 8} {
+			got, flips, err := s.StoreSeeded(v, parts, 42, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flips != refFlips {
+				t.Fatalf("block-accurate=%v workers=%d: %d flips, want %d", cfg.BlockAccurate, workers, flips, refFlips)
+			}
+			for f := range ref.Frames {
+				if !bytes.Equal(ref.Frames[f].Payload, got.Frames[f].Payload) {
+					t.Fatalf("block-accurate=%v workers=%d: frame %d payload differs", cfg.BlockAccurate, workers, f)
+				}
+			}
+		}
+		// A different seed must give a different error pattern.
+		other, _, err := s.StoreSeeded(v, parts, 43, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for f := range ref.Frames {
+			if !bytes.Equal(ref.Frames[f].Payload, other.Frames[f].Payload) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("independent seeds produced identical error patterns")
+		}
+	}
+}
+
+func TestStoreSeededDoesNotMutateInput(t *testing.T) {
+	v, _, parts, _ := buildVideo(t)
+	s := variableSystem(t)
+	before := make([][]byte, len(v.Frames))
+	for f := range v.Frames {
+		before[f] = append([]byte(nil), v.Frames[f].Payload...)
+	}
+	if _, _, err := s.StoreSeeded(v, parts, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	for f := range v.Frames {
+		if !bytes.Equal(before[f], v.Frames[f].Payload) {
+			t.Fatalf("frame %d input payload mutated", f)
+		}
+	}
+}
+
+func TestFootprintContextMatchesSerial(t *testing.T) {
+	v, _, parts, pixels := buildVideo(t)
+	s := variableSystem(t)
+	ref, err := s.Footprint(v, parts, pixels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := s.FootprintContext(context.Background(), v, parts, pixels, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PayloadBits != ref.PayloadBits || got.HeaderBits != ref.HeaderBits ||
+			got.Cells != ref.Cells || got.ParityBits != ref.ParityBits ||
+			math.Abs(got.CellsPerPixel-ref.CellsPerPixel) != 0 ||
+			got.ECCOverhead != ref.ECCOverhead {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, got, ref)
+		}
+		if len(got.PerScheme) != len(ref.PerScheme) {
+			t.Fatalf("workers=%d: per-scheme keys differ", workers)
+		}
+		for name, bits := range ref.PerScheme {
+			if got.PerScheme[name] != bits {
+				t.Fatalf("workers=%d: scheme %s: %d vs %d bits", workers, name, got.PerScheme[name], bits)
+			}
+		}
+	}
+}
+
+func TestPartitionMismatchSentinel(t *testing.T) {
+	v, _, parts, pixels := buildVideo(t)
+	s := variableSystem(t)
+	if _, err := s.Footprint(v, parts[:1], pixels); !errors.Is(err, ErrPartitionMismatch) {
+		t.Fatalf("Footprint: got %v", err)
+	}
+	if _, _, err := s.StoreSeeded(v, parts[:1], 1, 2); !errors.Is(err, ErrPartitionMismatch) {
+		t.Fatalf("StoreSeeded: got %v", err)
+	}
+}
+
+func TestStoreSeededCancelled(t *testing.T) {
+	v, _, parts, _ := buildVideo(t)
+	s := variableSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.StoreSeededContext(ctx, v, parts, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := s.FootprintContext(ctx, v, parts, 100, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestStoreSeededRoundTripDecodes makes sure the seeded path composes with
+// the decoder exactly like the rng path does.
+func TestStoreSeededRoundTripDecodes(t *testing.T) {
+	v, _, parts, _ := buildVideo(t)
+	s := variableSystem(t)
+	stored, _, err := s.StoreSeeded(v, parts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Decode(stored); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,8 +18,14 @@ import (
 	"videoapp/internal/codec"
 	"videoapp/internal/core"
 	"videoapp/internal/mlc"
+	"videoapp/internal/par"
 	"videoapp/internal/sim"
 )
+
+// ErrPartitionMismatch reports a partition list whose length does not match
+// the video's frame count. It is the same sentinel the core package uses, so
+// errors.Is matches it across both layers. Wrapped errors carry the counts.
+var ErrPartitionMismatch = core.ErrPartitionMismatch
 
 // Config describes one storage system design.
 type Config struct {
@@ -87,20 +94,54 @@ type Stats struct {
 	PerScheme map[string]int64
 }
 
+// frameCost is one frame's contribution to the footprint, computed
+// independently per frame and merged in frame order so the totals are
+// identical at every worker count.
+type frameCost struct {
+	payloadBits int64
+	cells       float64
+	parity      float64
+	perScheme   map[string]int64
+}
+
 // Footprint computes the storage cost of a partitioned video, including the
 // precisely-stored frame headers and pivot tables.
 func (s *System) Footprint(v *codec.Video, parts []core.FramePartition, pixels int64) (Stats, error) {
+	return s.FootprintContext(context.Background(), v, parts, pixels, 1)
+}
+
+// FootprintContext is Footprint with per-frame fan-out across workers and
+// cooperative cancellation. Per-frame costs are accumulated independently
+// and reduced in frame order, so the result is identical for every worker
+// count.
+func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, pixels int64, workers int) (Stats, error) {
 	if len(parts) != len(v.Frames) {
-		return Stats{}, fmt.Errorf("store: %d partitions for %d frames", len(parts), len(v.Frames))
+		return Stats{}, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
+	}
+	costs := make([]frameCost, len(v.Frames))
+	err := par.ForEach(ctx, len(v.Frames), workers, func(f int) error {
+		ef := v.Frames[f]
+		fc := frameCost{perScheme: map[string]int64{}}
+		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
+			fc.payloadBits += seg.Bits
+			fc.perScheme[seg.Scheme.Name] += seg.Bits
+			fc.cells += s.cfg.Substrate.CellsForBits(seg.Bits, seg.Scheme.Overhead())
+			fc.parity += float64(seg.Bits) * seg.Scheme.Overhead()
+		}
+		costs[f] = fc
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
 	}
 	st := Stats{PerScheme: map[string]int64{}}
 	var cells, parity float64
-	for f, ef := range v.Frames {
-		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
-			st.PayloadBits += seg.Bits
-			st.PerScheme[seg.Scheme.Name] += seg.Bits
-			cells += s.cfg.Substrate.CellsForBits(seg.Bits, seg.Scheme.Overhead())
-			parity += float64(seg.Bits) * seg.Scheme.Overhead()
+	for _, fc := range costs {
+		st.PayloadBits += fc.payloadBits
+		cells += fc.cells
+		parity += fc.parity
+		for name, bits := range fc.perScheme {
+			st.PerScheme[name] += bits
 		}
 	}
 	st.HeaderBits = v.HeaderBits() + core.PivotOverheadBits(parts)
@@ -126,20 +167,71 @@ func (s *System) Footprint(v *codec.Video, parts []core.FramePartition, pixels i
 // probability; the §6.4 scaling handles it analytically where needed).
 func (s *System) Store(v *codec.Video, parts []core.FramePartition, rng *rand.Rand) (*codec.Video, int, error) {
 	if len(parts) != len(v.Frames) {
-		return nil, 0, fmt.Errorf("store: %d partitions for %d frames", len(parts), len(v.Frames))
+		return nil, 0, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
 	}
 	out := v.Clone()
 	flips := 0
 	for f, ef := range out.Frames {
-		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
-			if s.cfg.BlockAccurate {
-				flips += s.injectBlockAccurate(rng, ef.Payload, seg)
-			} else {
-				flips += s.injectNominal(rng, ef.Payload, seg)
-			}
-		}
+		flips += s.injectFrame(rng, ef, parts[f])
 	}
 	return out, flips, nil
+}
+
+// injectFrame applies the configured error model to one frame's payload and
+// returns the number of surviving flips.
+func (s *System) injectFrame(rng *rand.Rand, ef *codec.EncodedFrame, part core.FramePartition) int {
+	flips := 0
+	for _, seg := range part.Segments(ef.PayloadBits()) {
+		if s.cfg.BlockAccurate {
+			flips += s.injectBlockAccurate(rng, ef.Payload, seg)
+		} else {
+			flips += s.injectNominal(rng, ef.Payload, seg)
+		}
+	}
+	return flips
+}
+
+// frameSeed derives the sub-stream seed of frame f from the caller's seed
+// with a SplitMix64-style finalizer, decorrelating neighbouring frames while
+// staying a pure function of (seed, f) — the property that makes StoreSeeded
+// reproducible at every worker count.
+func frameSeed(seed int64, f int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(f+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// StoreSeeded is the deterministic parallel form of Store: every frame's
+// error injection draws from its own rand stream seeded by frameSeed(seed,
+// f), so the stored bits and flip count depend only on (video, parts, seed)
+// — never on the worker count or goroutine schedule. workers <= 0 selects
+// GOMAXPROCS.
+func (s *System) StoreSeeded(v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
+	return s.StoreSeededContext(context.Background(), v, parts, seed, workers)
+}
+
+// StoreSeededContext is StoreSeeded with cooperative cancellation checked at
+// frame boundaries.
+func (s *System) StoreSeededContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
+	if len(parts) != len(v.Frames) {
+		return nil, 0, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
+	}
+	out := v.Clone()
+	flips := make([]int, len(out.Frames))
+	err := par.ForEach(ctx, len(out.Frames), workers, func(f int) error {
+		rng := rand.New(rand.NewSource(frameSeed(seed, f)))
+		flips[f] = s.injectFrame(rng, out.Frames[f], parts[f])
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0
+	for _, n := range flips {
+		total += n
+	}
+	return out, total, nil
 }
 
 func (s *System) injectNominal(rng *rand.Rand, payload []byte, seg core.Segment) int {

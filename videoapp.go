@@ -6,14 +6,28 @@
 // The pipeline mirrors the paper:
 //
 //	seq, err := videoapp.GenerateTestVideo("crew_like", 320, 176, 60)
-//	res, err := videoapp.NewPipeline().Process(seq)   // encode + analyze + partition
-//	decoded, flips, err := res.StoreRoundTrip(42)     // approximate MLC round trip
+//	p := videoapp.NewPipeline(videoapp.WithWorkers(0))  // 0 = GOMAXPROCS
+//	res, err := p.Process(seq)                          // encode + analyze + partition
+//	decoded, flips, err := res.StoreRoundTrip(42)       // approximate MLC round trip
 //
 // Process encodes the raw sequence with an H.264-class codec, runs the
 // VideoApp dependency analysis to compute per-macroblock importance, derives
 // the per-frame pivot layout, and reports the physical storage footprint on
 // the MLC PCM substrate. StoreRoundTrip simulates a write-scrub-read cycle
 // with variable error correction and decodes the (possibly damaged) result.
+//
+// # Concurrency
+//
+// Every stage of the pipeline is frame- or GOP-parallel: encoding and
+// decoding fan out over independent closed-GOP spans, error injection,
+// footprint accounting and quality metrics fan out per frame, and the
+// dependency analysis fans out over independent spans of its DAG. The
+// worker count is configured once with WithWorkers and results are
+// guaranteed identical at every worker count: parallel decode/analyze/
+// footprint/measure are bit-identical to their serial counterparts, and the
+// seeded storage round trip is a pure function of (video, partitions,
+// seed). Long-running calls have *Context variants with cooperative
+// cancellation checked at frame boundaries.
 //
 // The underlying subsystems are exposed as type aliases so that advanced
 // users can drive them directly: the codec (Encode/Decode), the analysis
@@ -23,8 +37,9 @@
 package videoapp
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 
 	"videoapp/internal/bch"
 	"videoapp/internal/codec"
@@ -35,6 +50,19 @@ import (
 	"videoapp/internal/quality"
 	"videoapp/internal/store"
 	"videoapp/internal/synth"
+)
+
+// Sentinel errors of the public API. Returned errors wrap these with
+// context (preset names, counts, frame numbers); match with errors.Is.
+var (
+	// ErrUnknownPreset reports a synthetic preset name that does not exist.
+	ErrUnknownPreset = errors.New("unknown preset")
+	// ErrPartitionMismatch reports a partition list whose length does not
+	// match the video's frame count.
+	ErrPartitionMismatch = store.ErrPartitionMismatch
+	// ErrNonMonotone reports a violation of the §4.4 invariant that
+	// importance never increases in scan order within a slice.
+	ErrNonMonotone = core.ErrNonMonotone
 )
 
 // Re-exported core types. The aliases form the public surface; the internal
@@ -104,12 +132,43 @@ func EncodeParallel(seq *Sequence, p Params, workers int) (*Video, error) {
 	return codec.EncodeParallel(seq, p, workers)
 }
 
+// EncodeContext encodes with GOP-level parallelism and cooperative
+// cancellation checked at GOP boundaries. Output is bit-identical to Encode.
+// Open-GOP configurations (BFrames > 0) fall back to the serial encoder,
+// which is not cancellable mid-video.
+func EncodeContext(ctx context.Context, seq *Sequence, p Params, workers int) (*Video, error) {
+	if p.BFrames != 0 {
+		return codec.Encode(seq, p)
+	}
+	return codec.EncodeParallelContext(ctx, seq, p, workers)
+}
+
 // Decode reconstructs the display-order sequence; it is error-resilient and
 // never fails on corrupted payloads.
 func Decode(v *Video) (*Sequence, error) { return codec.Decode(v) }
 
+// DecodeParallel decodes independent closed-GOP spans concurrently; output
+// is bit- and pixel-identical to Decode for any input, including corrupted
+// payloads. workers <= 0 uses GOMAXPROCS.
+func DecodeParallel(v *Video, workers int) (*Sequence, error) {
+	return codec.DecodeParallel(v, workers)
+}
+
+// DecodeContext is DecodeParallel with cooperative cancellation checked at
+// frame boundaries.
+func DecodeContext(ctx context.Context, v *Video, workers int) (*Sequence, error) {
+	return codec.DecodeContext(ctx, v, codec.DecodeOptions{}, workers)
+}
+
 // Analyze computes per-macroblock importance (§4.3).
 func Analyze(v *Video) *Analysis { return core.Analyze(v, core.DefaultOptions()) }
+
+// AnalyzeContext is Analyze with fan-out over independent spans of the
+// dependency DAG and cooperative cancellation; the result is bit-identical
+// to Analyze at every worker count.
+func AnalyzeContext(ctx context.Context, v *Video, workers int) (*Analysis, error) {
+	return core.AnalyzeContext(ctx, v, core.DefaultOptions(), workers)
+}
 
 // PaperAssignment returns Table 1's importance-class → scheme mapping.
 func PaperAssignment() ClassAssignment { return core.PaperAssignment() }
@@ -145,15 +204,22 @@ func Reanalyze(v *Video) error { return codec.Reanalyze(v) }
 // Measure computes all quality metrics between two sequences.
 func Measure(ref, dist *Sequence) (QualityReport, error) { return quality.Measure(ref, dist) }
 
+// MeasureContext is Measure with per-frame metric workers and cooperative
+// cancellation; the result is identical to Measure at every worker count.
+func MeasureContext(ctx context.Context, ref, dist *Sequence, workers int) (QualityReport, error) {
+	return quality.MeasureContext(ctx, ref, dist, workers)
+}
+
 // PSNR computes the average luma PSNR between two sequences.
 func PSNR(ref, dist *Sequence) (float64, error) { return quality.PSNR(ref, dist) }
 
 // GenerateTestVideo renders one of the 14 synthetic suite sequences at the
-// given geometry. Unknown presets return an error; see PresetNames.
+// given geometry. Unknown presets return an error wrapping ErrUnknownPreset;
+// see PresetNames.
 func GenerateTestVideo(preset string, w, h, frames int) (*Sequence, error) {
 	cfg, ok := synth.PresetByName(preset)
 	if !ok {
-		return nil, fmt.Errorf("videoapp: unknown preset %q", preset)
+		return nil, fmt.Errorf("%w %q", ErrUnknownPreset, preset)
 	}
 	return synth.Generate(cfg.ScaleTo(w, h, frames)), nil
 }
@@ -168,6 +234,11 @@ func PresetNames() []string {
 }
 
 // Pipeline bundles the full paper workflow with overridable components.
+//
+// The preferred way to configure a pipeline is the functional options of
+// NewPipeline (WithParams, WithAssignment, WithSubstrate, WithWorkers,
+// WithBlockAccurate). The struct fields remain exported and writable for
+// compatibility; mutate them only before the first Process call.
 type Pipeline struct {
 	// Params configures the encoder (default: DefaultParams).
 	Params Params
@@ -175,15 +246,57 @@ type Pipeline struct {
 	Assignment ClassAssignment
 	// Substrate is the storage cell model (default: 8-level MLC PCM).
 	Substrate Substrate
+	// Workers bounds the concurrency of every pipeline stage; <= 0 (the
+	// default) selects GOMAXPROCS. Results are identical at every worker
+	// count.
+	Workers int
+	// BlockAccurate switches storage round trips from the nominal
+	// per-scheme residual rates (Table 1) to explicit per-512-bit-block
+	// binomial error simulation with BCH correction accounting.
+	BlockAccurate bool
 }
 
-// NewPipeline returns a pipeline with the paper's defaults.
-func NewPipeline() *Pipeline {
-	return &Pipeline{
+// Option configures a Pipeline at construction time.
+type Option func(*Pipeline)
+
+// WithParams sets the encoder configuration.
+func WithParams(p Params) Option { return func(pl *Pipeline) { pl.Params = p } }
+
+// WithAssignment sets the importance-class → ECC-scheme mapping.
+func WithAssignment(a ClassAssignment) Option { return func(pl *Pipeline) { pl.Assignment = a } }
+
+// WithSubstrate sets the storage cell model.
+func WithSubstrate(s Substrate) Option { return func(pl *Pipeline) { pl.Substrate = s } }
+
+// WithWorkers bounds the concurrency of every pipeline stage; n <= 0
+// selects GOMAXPROCS.
+func WithWorkers(n int) Option { return func(pl *Pipeline) { pl.Workers = n } }
+
+// WithBlockAccurate selects explicit per-block error simulation for storage
+// round trips.
+func WithBlockAccurate(on bool) Option { return func(pl *Pipeline) { pl.BlockAccurate = on } }
+
+// NewPipeline returns a pipeline with the paper's defaults, then applies
+// the options in order.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{
 		Params:     codec.DefaultParams(),
 		Assignment: core.PaperAssignment(),
 		Substrate:  mlc.Default(),
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// system builds the configured approximate storage system.
+func (p *Pipeline) system() (*store.System, error) {
+	return store.New(store.Config{
+		Substrate:     p.Substrate,
+		Assignment:    p.Assignment,
+		BlockAccurate: p.BlockAccurate,
+	})
 }
 
 // Result is a processed video ready for approximate storage.
@@ -193,47 +306,74 @@ type Result struct {
 	Partitions []FramePartition
 	Stats      StorageStats
 	pipeline   *Pipeline
+	system     *store.System
 	pixels     int64
 }
 
 // Process encodes, analyzes and partitions a raw sequence, and computes its
 // storage footprint under the pipeline's assignment.
 func (p *Pipeline) Process(seq *Sequence) (*Result, error) {
-	v, err := codec.Encode(seq, p.Params)
+	return p.ProcessContext(context.Background(), seq)
+}
+
+// ProcessContext is Process with cooperative cancellation: every stage
+// (GOP-parallel encode, span-parallel analysis, per-frame footprint) checks
+// ctx at frame boundaries and returns ctx.Err() promptly once it is
+// cancelled. The result is identical to Process at every worker count.
+func (p *Pipeline) ProcessContext(ctx context.Context, seq *Sequence) (*Result, error) {
+	v, err := EncodeContext(ctx, seq, p.Params, p.Workers)
 	if err != nil {
 		return nil, err
 	}
-	an := core.Analyze(v, core.DefaultOptions())
+	an, err := core.AnalyzeContext(ctx, v, core.DefaultOptions(), p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	if err := an.CheckMonotone(); err != nil {
 		return nil, err
 	}
 	parts := an.Partition(p.Assignment)
-	sys, err := store.New(store.Config{Substrate: p.Substrate, Assignment: p.Assignment})
+	// The storage system is validated and built once here; Result reuses it
+	// for every round trip.
+	sys, err := p.system()
 	if err != nil {
 		return nil, err
 	}
-	stats, err := sys.Footprint(v, parts, seq.PixelCount())
+	stats, err := sys.FootprintContext(ctx, v, parts, seq.PixelCount(), p.Workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Video: v, Analysis: an, Partitions: parts, Stats: stats,
-		pipeline: p, pixels: seq.PixelCount(),
+		pipeline: p, system: sys, pixels: seq.PixelCount(),
 	}, nil
 }
 
 // StoreRoundTrip simulates one approximate storage round trip (write, scrub
 // for the substrate's reference interval, read with residual errors) and
-// decodes the result.
+// decodes the result. Error injection and decoding run frame-parallel under
+// the pipeline's worker budget; for a fixed seed the outcome is a pure
+// function of the processed video — independent of the worker count.
 func (r *Result) StoreRoundTrip(seed int64) (*Sequence, int, error) {
-	sys, err := store.New(store.Config{Substrate: r.pipeline.Substrate, Assignment: r.pipeline.Assignment})
+	return r.StoreRoundTripContext(context.Background(), seed)
+}
+
+// StoreRoundTripContext is StoreRoundTrip with cooperative cancellation
+// checked at frame boundaries.
+func (r *Result) StoreRoundTripContext(ctx context.Context, seed int64) (*Sequence, int, error) {
+	sys := r.system
+	if sys == nil {
+		// Results built by hand (not via Process) still work.
+		var err error
+		if sys, err = r.pipeline.system(); err != nil {
+			return nil, 0, err
+		}
+		r.system = sys
+	}
+	stored, flips, err := sys.StoreSeededContext(ctx, r.Video, r.Partitions, seed, r.pipeline.Workers)
 	if err != nil {
 		return nil, 0, err
 	}
-	stored, flips, err := sys.Store(r.Video, r.Partitions, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, 0, err
-	}
-	seq, err := codec.Decode(stored)
+	seq, err := codec.DecodeContext(ctx, stored, codec.DecodeOptions{}, r.pipeline.Workers)
 	return seq, flips, err
 }
