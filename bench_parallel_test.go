@@ -112,7 +112,7 @@ func BenchmarkParallelStore(b *testing.B) {
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sys.StoreSeeded(v, parts, int64(i), w); err != nil {
+				if _, _, err := sys.StoreContext(context.Background(), v, parts, store.StoreOpts{Seed: int64(i), Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}

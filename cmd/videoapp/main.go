@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 
 	"videoapp"
 	"videoapp/internal/quality"
@@ -32,19 +33,28 @@ import (
 )
 
 type options struct {
-	in, out string
-	preset  string
-	w, h    int
-	frames  int
-	crf     int
-	gop     int
-	bframes int
-	slices  int
-	cavlc   bool
-	halfpel bool
-	deblock bool
-	seed    int64
-	workers int
+	in, out    string
+	preset     string
+	w, h       int
+	frames     int
+	crf        int
+	gop        int
+	bframes    int
+	slices     int
+	cavlc      bool
+	halfpel    bool
+	deblock    bool
+	seed       int64
+	workers    int
+	metrics    bool
+	cpuprofile string
+	traceOut   string
+
+	// mtr aggregates stage metrics when -metrics is set and trace streams
+	// JSON events when -trace-out is; both also ride the run's context so
+	// direct (non-pipeline) stage calls report too.
+	mtr   *videoapp.Metrics
+	trace *videoapp.Trace
 }
 
 func main() {
@@ -64,6 +74,9 @@ func main() {
 	flag.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
 	flag.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
 	flag.IntVar(&o.workers, "workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.metrics, "metrics", false, "print per-stage wall time and pipeline counters (human + JSON)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
+	flag.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -73,10 +86,84 @@ func main() {
 	// Ctrl-C cancels the pipeline cooperatively at the next frame boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, cmd, o); err != nil {
+	if err := instrumentedRun(ctx, cmd, o); err != nil {
 		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// instrumentedRun wires the observability flags around run: the CPU profile
+// brackets the whole command, the observer (metrics aggregator and/or JSON
+// trace) rides the context into every pipeline stage, and the -metrics
+// report prints once the command finishes.
+func instrumentedRun(ctx context.Context, cmd string, o options) error {
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var observers []videoapp.Observer
+	if o.metrics {
+		o.mtr = videoapp.NewMetrics()
+		observers = append(observers, o.mtr)
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.trace = videoapp.NewTrace(f)
+		observers = append(observers, o.trace)
+	}
+	ctx = videoapp.ContextWithObserver(ctx, videoapp.MultiObserver(observers...))
+
+	err := run(ctx, cmd, o)
+
+	if o.trace != nil && err == nil {
+		err = o.trace.Err()
+	}
+	if o.mtr != nil {
+		snap := o.mtr.Snapshot()
+		fmt.Println("-- metrics --")
+		if werr := snap.WriteText(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
+		if js, jerr := snap.JSON(); jerr == nil {
+			fmt.Printf("%s\n", js)
+		} else if err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// pipelineOptions maps the CLI flags 1:1 onto the NewPipeline functional
+// options (see the NewPipeline godoc for the table): the encoder flags via
+// WithParams, -cavlc via WithEntropyCoder, -seed via WithSeed, -workers via
+// WithWorkers, and the observability flags via WithMetrics/WithObserver.
+func (o options) pipelineOptions() []videoapp.Option {
+	opts := []videoapp.Option{
+		videoapp.WithParams(o.params()),
+		videoapp.WithWorkers(o.workers),
+		videoapp.WithSeed(o.seed),
+	}
+	if o.cavlc {
+		opts = append(opts, videoapp.WithEntropyCoder(videoapp.CAVLC))
+	}
+	if o.mtr != nil {
+		opts = append(opts, videoapp.WithMetrics(o.mtr))
+	}
+	if o.trace != nil {
+		opts = append(opts, videoapp.WithObserver(o.trace))
+	}
+	return opts
 }
 
 func (o options) params() videoapp.Params {
@@ -248,10 +335,9 @@ func run(ctx context.Context, cmd string, o options) error {
 		if err != nil {
 			return err
 		}
-		p := videoapp.NewPipeline(
-			videoapp.WithParams(v.Params),
-			videoapp.WithWorkers(o.workers),
-		)
+		// Container inputs carry their own encoder parameters, which must
+		// win over the flag defaults; append so they override in order.
+		p := videoapp.NewPipeline(append(o.pipelineOptions(), videoapp.WithParams(v.Params))...)
 		if seq == nil {
 			// Container input: measure against the clean decode.
 			clean, err := videoapp.DecodeContext(ctx, v, o.workers)
@@ -273,7 +359,7 @@ func run(ctx context.Context, cmd string, o options) error {
 		if err != nil {
 			return err
 		}
-		dec, flips, err := res.StoreRoundTripContext(ctx, o.seed)
+		dec, flips, err := res.RoundTrip(ctx)
 		if err != nil {
 			return err
 		}

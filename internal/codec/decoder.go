@@ -6,6 +6,7 @@ import (
 	"videoapp/internal/bitio"
 	"videoapp/internal/entropy"
 	"videoapp/internal/frame"
+	"videoapp/internal/obs"
 	"videoapp/internal/predict"
 	"videoapp/internal/transform"
 )
@@ -19,6 +20,12 @@ type DecodeOptions struct {
 	// the forward reference (or mid-gray for I frames), as production
 	// decoders such as ffmpeg do.
 	ConcealOnDesync bool
+	// Observer, when non-nil, receives decode instrumentation: the
+	// per-slice entropy resync counter (obs.CtrResync) fires once for
+	// every slice whose symbol reader ends desynced. DecodeContext fills
+	// it from the context when unset; the serial Decode paths leave it
+	// nil, which disables publication entirely.
+	Observer obs.Observer
 }
 
 // Decode reconstructs the display-order sequence from the coded video.
@@ -213,6 +220,9 @@ func (fd *frameDecoder) run() {
 				}
 				fd.recs[i].BitLen = end - fd.recs[i].BitStart
 			}
+		}
+		if fd.opts.Observer != nil && fd.sr.Desynced() {
+			fd.opts.Observer.Counter(obs.CtrResync, fd.video.Params.Entropy.String(), 1)
 		}
 	}
 }

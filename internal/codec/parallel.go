@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"videoapp/internal/frame"
+	"videoapp/internal/obs"
 	"videoapp/internal/par"
 )
 
@@ -19,7 +20,10 @@ func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) 
 
 // EncodeParallelContext is EncodeParallel with cooperative cancellation:
 // ctx is checked at GOP boundaries, and a cancelled context aborts the
-// remaining GOPs and returns ctx.Err().
+// remaining GOPs and returns ctx.Err(). An observer attached to ctx
+// (obs.With) receives the encode stage span, per-GOP frame progress and
+// per-frame-type counters; GOP workers run under pprof labels
+// (stage=encode, gop=N) so CPU profiles attribute samples per GOP.
 func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, workers int) (*Video, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -30,6 +34,8 @@ func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, w
 	if len(seq.Frames) == 0 {
 		return nil, fmt.Errorf("codec: empty sequence")
 	}
+	o := obs.From(ctx)
+	defer obs.StartSpan(o, obs.StageEncode).End()
 	// Chunk the display frames into GOPs.
 	type chunk struct {
 		start int // display index of the chunk's I frame
@@ -45,11 +51,14 @@ func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, w
 	}
 
 	videos := make([]*Video, len(chunks))
-	err := par.ForEach(ctx, len(chunks), workers, func(ci int) error {
+	err := par.ForEachLabeled(ctx, len(chunks), workers, obs.StageEncode, "gop", func(ci int) error {
 		ch := chunks[ci]
 		sub := &frame.Sequence{Name: seq.Name, FPS: seq.FPS, Frames: seq.Frames[ch.start:ch.end]}
 		var err error
 		videos[ci], err = Encode(sub, p)
+		if err == nil {
+			o.FrameDone(obs.StageEncode, ch.end-ch.start)
+		}
 		return err
 	})
 	if err != nil {
@@ -62,6 +71,7 @@ func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, w
 	base := 0
 	for ci, v := range videos {
 		for _, f := range v.Frames {
+			o.Counter(obs.CtrEncodeFrames, f.Type.String(), 1)
 			f.CodedIdx += base
 			f.DisplayIdx += base
 			if f.RefFwd >= 0 {
@@ -137,23 +147,34 @@ func DecodeParallel(v *Video, workers int) (*frame.Sequence, error) {
 }
 
 // DecodeContext is the parallel decoder with explicit options and
-// cooperative cancellation checked at frame boundaries.
+// cooperative cancellation checked at frame boundaries. Unless opts already
+// carries an Observer, the one attached to ctx (obs.With) receives the
+// decode stage span, per-frame progress and counters, including the
+// entropy-resync events of damaged slices; span workers run under pprof
+// labels (stage=decode, span=N).
 func DecodeContext(ctx context.Context, v *Video, opts DecodeOptions, workers int) (*frame.Sequence, error) {
 	if v.W%frame.MBSize != 0 || v.H%frame.MBSize != 0 || v.W <= 0 || v.H <= 0 {
 		return nil, errFrameGeometry(v.W, v.H)
 	}
+	if opts.Observer == nil {
+		opts.Observer = obs.From(ctx)
+	}
+	o := opts.Observer
+	defer obs.StartSpan(o, obs.StageDecode).End()
 	// Spans never share reference frames, so each goroutine touches only its
 	// own disjoint range of rec; within a span frames decode in coded order,
 	// exactly as the serial pass does.
 	rec := make([]*frame.Frame, len(v.Frames))
 	spans := headerRefSpans(v)
-	err := par.ForEach(ctx, len(spans), workers, func(si int) error {
+	err := par.ForEachLabeled(ctx, len(spans), workers, obs.StageDecode, "span", func(si int) error {
 		sp := spans[si]
 		for i := sp[0]; i < sp[1]; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			rec[i] = decodeSingleOpts(v, i, rec, opts)
+			o.Counter(obs.CtrDecodeFrames, v.Frames[i].Type.String(), 1)
+			o.FrameDone(obs.StageDecode, 1)
 		}
 		return nil
 	})

@@ -19,6 +19,7 @@ import (
 
 	"videoapp/internal/bch"
 	"videoapp/internal/codec"
+	"videoapp/internal/obs"
 	"videoapp/internal/par"
 )
 
@@ -118,6 +119,8 @@ func depSpans(v *codec.Video) [][2]int {
 // accumulation happens in the same order as in the serial sweep and the
 // result is bit-identical at any worker count.
 func AnalyzeContext(ctx context.Context, v *codec.Video, opts Options, workers int) (*Analysis, error) {
+	o := obs.From(ctx)
+	defer obs.StartSpan(o, obs.StageAnalyze).End()
 	nF := len(v.Frames)
 	imp := make([][]float64, nF)
 	for f, ef := range v.Frames {
@@ -135,7 +138,7 @@ func AnalyzeContext(ctx context.Context, v *codec.Video, opts Options, workers i
 	// importance is final when we push contributions to its sources.
 	mbCols := v.MBCols()
 	spans := depSpans(v)
-	err := par.ForEach(ctx, len(spans), workers, func(si int) error {
+	err := par.ForEachLabeled(ctx, len(spans), workers, obs.StageAnalyze, "span", func(si int) error {
 		sp := spans[si]
 		for f := sp[1] - 1; f >= sp[0]; f-- {
 			if err := ctx.Err(); err != nil {
@@ -178,7 +181,7 @@ func AnalyzeContext(ctx context.Context, v *codec.Video, opts Options, workers i
 	// independent here, so the fan-out is per frame.
 	comp := make([][]float64, nF)
 	cw := opts.CodingWeight
-	err = par.ForEach(ctx, nF, workers, func(f int) error {
+	err = par.ForEachLabeled(ctx, nF, workers, obs.StageAnalyze, "", func(f int) error {
 		comp[f] = append([]float64(nil), imp[f]...)
 		row := imp[f]
 		starts := sliceStartSet(v.Frames[f])
@@ -188,6 +191,7 @@ func AnalyzeContext(ctx context.Context, v *codec.Video, opts Options, workers i
 			}
 			row[m] += cw * row[m+1]
 		}
+		o.FrameDone(obs.StageAnalyze, 1)
 		return nil
 	})
 	if err != nil {

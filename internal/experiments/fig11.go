@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -94,7 +95,7 @@ func Figure11(cfg Config, crfs []int, variable core.ClassAssignment) (*Fig11Resu
 				worst := 0.0
 				for run := 0; run < cfg.Runs; run++ {
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*104729))
-					stored, flips, err := sys.Store(ev.Video, parts, rng)
+					stored, flips, err := sys.StoreContext(context.Background(), ev.Video, parts, store.StoreOpts{Rng: rng})
 					if err != nil {
 						return nil, err
 					}

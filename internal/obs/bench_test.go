@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkNoopFramePath measures the per-frame cost of instrumentation
+// with no observer attached — the default for every pipeline run. The
+// acceptance bar is zero allocations per operation (ReportAllocs).
+func BenchmarkNoopFramePath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := From(ctx)
+		o.FrameDone(StageDecode, 1)
+		o.Counter(CtrResidualFlips, "BCH-6", 2)
+	}
+}
+
+// BenchmarkMetricsFramePath is the same pattern against a live Metrics
+// aggregator, the cost an instrumented run pays per frame event.
+func BenchmarkMetricsFramePath(b *testing.B) {
+	m := NewMetrics()
+	ctx := With(context.Background(), m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := From(ctx)
+		o.FrameDone(StageDecode, 1)
+		o.Counter(CtrResidualFlips, "BCH-6", 2)
+	}
+}

@@ -1,0 +1,206 @@
+// Package obs is the zero-dependency observability layer of the pipeline:
+// an Observer interface that every stage reports to, a no-op default that
+// costs nothing on the hot path, a thread-safe aggregating Metrics
+// implementation, and a streaming JSON-lines trace sink.
+//
+// Observers are passive: stages publish events (stage spans, per-frame
+// progress, named counters and gauges) and never read anything back, so an
+// attached observer can not perturb results — parallel stages stay
+// bit-identical to serial with any observer at any worker count. Counter
+// and gauge values are accumulated per (name, label) with order-independent
+// reductions, so aggregated metrics are also identical at every worker
+// count; only wall-clock figures vary between runs.
+//
+// The no-op path is allocation-free: stage names and labels are existing
+// strings (package constants, scheme names, frame-type names), all other
+// arguments are scalars, and Noop is a zero-size type, so calls through the
+// interface never escape anything to the heap. This is guarded by
+// BenchmarkNoopFramePath and TestNoopPathDoesNotAllocate.
+//
+// Observers reach the internal packages through the context: the pipeline
+// attaches its observer with With, and every *Context stage entry point
+// recovers it with From (returning Noop when none is attached). This keeps
+// the stage signatures stable while still letting direct users of the
+// subsystem APIs opt in.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Stage names published by the pipeline. Every stage span, FrameDone event
+// and stage-scoped counter uses one of these.
+const (
+	StageEncode    = "encode"
+	StageAnalyze   = "analyze"
+	StagePartition = "partition"
+	StageFootprint = "footprint"
+	StageInject    = "inject"
+	StageDecode    = "decode"
+	StageMeasure   = "measure"
+)
+
+// Counter and gauge names published by the instrumented stages. Labels are
+// given per name.
+const (
+	// CtrEncodeFrames counts encoded frames, labelled by frame type (I/P/B).
+	CtrEncodeFrames = "encode_frames"
+	// CtrDecodeFrames counts decoded frames, labelled by frame type.
+	CtrDecodeFrames = "decode_frames"
+	// CtrResync counts entropy-stream desync events — slices whose CABAC or
+	// CAVLC reader lost sync and rode garbage until the next resync point —
+	// labelled by the entropy coder name.
+	CtrResync = "codec_resync"
+	// CtrRawFlips counts injected substrate bit errors before correction,
+	// labelled by ECC scheme. On the nominal error model raw errors equal
+	// residual errors; the block-accurate model also counts corrected ones.
+	CtrRawFlips = "store_raw_flips"
+	// CtrResidualFlips counts post-correction bit errors that survive to
+	// the reader, labelled by ECC scheme.
+	CtrResidualFlips = "store_residual_flips"
+	// CtrPayloadBits counts stored payload bits, labelled by ECC scheme.
+	CtrPayloadBits = "footprint_payload_bits"
+	// CtrHeaderBits counts precisely-stored header and pivot-table bits.
+	CtrHeaderBits = "footprint_header_bits"
+	// GaugeCells is the substrate cell count of the last footprint.
+	GaugeCells = "footprint_cells"
+	// GaugeCellsPerPixel is the paper's density metric (Figure 11 x-axis).
+	GaugeCellsPerPixel = "footprint_cells_per_pixel"
+)
+
+// Observer receives pipeline instrumentation events. Implementations must
+// be safe for concurrent use: parallel stages publish FrameDone and Counter
+// events from multiple worker goroutines.
+type Observer interface {
+	// StageStart marks the beginning of a pipeline stage.
+	StageStart(stage string)
+	// StageEnd marks the end of a pipeline stage with its wall time.
+	StageEnd(stage string, wall time.Duration)
+	// FrameDone reports that frames units of per-frame work finished in a
+	// stage. Parallel stages call it out of frame order.
+	FrameDone(stage string, frames int)
+	// Counter adds delta to the counter identified by (name, label); label
+	// is "" for unlabelled counters.
+	Counter(name, label string, delta int64)
+	// Gauge sets the gauge identified by (name, label) to v.
+	Gauge(name, label string, v float64)
+}
+
+// Noop is the default observer: every method is an empty, allocation-free
+// no-op. The zero value is ready to use and requires no synchronization.
+type Noop struct{}
+
+// StageStart implements Observer.
+func (Noop) StageStart(string) {}
+
+// StageEnd implements Observer.
+func (Noop) StageEnd(string, time.Duration) {}
+
+// FrameDone implements Observer.
+func (Noop) FrameDone(string, int) {}
+
+// Counter implements Observer.
+func (Noop) Counter(string, string, int64) {}
+
+// Gauge implements Observer.
+func (Noop) Gauge(string, string, float64) {}
+
+// multi fans every event out to several observers in order.
+type multi []Observer
+
+func (m multi) StageStart(stage string) {
+	for _, o := range m {
+		o.StageStart(stage)
+	}
+}
+
+func (m multi) StageEnd(stage string, wall time.Duration) {
+	for _, o := range m {
+		o.StageEnd(stage, wall)
+	}
+}
+
+func (m multi) FrameDone(stage string, frames int) {
+	for _, o := range m {
+		o.FrameDone(stage, frames)
+	}
+}
+
+func (m multi) Counter(name, label string, delta int64) {
+	for _, o := range m {
+		o.Counter(name, label, delta)
+	}
+}
+
+func (m multi) Gauge(name, label string, v float64) {
+	for _, o := range m {
+		o.Gauge(name, label, v)
+	}
+}
+
+// Multi combines observers into one that fans every event out in argument
+// order. Nil and Noop entries are dropped; with no live entries Multi
+// returns Noop, and a single live entry is returned unwrapped.
+func Multi(obs ...Observer) Observer {
+	live := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		if _, isNoop := o.(Noop); isNoop {
+			continue
+		}
+		live = append(live, o)
+	}
+	switch len(live) {
+	case 0:
+		return Noop{}
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// SpanTimer is an in-flight stage span started by StartSpan. It is a plain
+// value, so starting and ending a span never allocates.
+type SpanTimer struct {
+	o     Observer
+	stage string
+	t0    time.Time
+}
+
+// StartSpan publishes StageStart and returns a timer whose End publishes
+// StageEnd with the elapsed wall time; typically `defer StartSpan(o,
+// stage).End()` around a stage body.
+func StartSpan(o Observer, stage string) SpanTimer {
+	o.StageStart(stage)
+	return SpanTimer{o: o, stage: stage, t0: time.Now()}
+}
+
+// End publishes the span's StageEnd event.
+func (s SpanTimer) End() { s.o.StageEnd(s.stage, time.Since(s.t0)) }
+
+// ctxKey keys the observer attached to a context.
+type ctxKey struct{}
+
+// With returns a context carrying o; every *Context stage entry point
+// reports to it. Attaching nil or Noop returns ctx unchanged.
+func With(ctx context.Context, o Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	if _, isNoop := o.(Noop); isNoop {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// From returns the observer attached to ctx, or Noop when none is. The
+// lookup and the Noop fallback are allocation-free.
+func From(ctx context.Context) Observer {
+	if o, ok := ctx.Value(ctxKey{}).(Observer); ok {
+		return o
+	}
+	return Noop{}
+}

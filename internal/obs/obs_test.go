@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFromDefaultsToNoop(t *testing.T) {
+	o := From(context.Background())
+	if _, ok := o.(Noop); !ok {
+		t.Fatalf("bare context must yield Noop, got %T", o)
+	}
+}
+
+func TestWithRoundTrips(t *testing.T) {
+	m := NewMetrics()
+	ctx := With(context.Background(), m)
+	if From(ctx) != Observer(m) {
+		t.Fatal("With/From must round-trip the observer")
+	}
+}
+
+func TestWithNilAndNoopAreFree(t *testing.T) {
+	ctx := context.Background()
+	if With(ctx, nil) != ctx {
+		t.Fatal("With(nil) must return ctx unchanged")
+	}
+	if With(ctx, Noop{}) != ctx {
+		t.Fatal("With(Noop) must return ctx unchanged")
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if _, ok := Multi().(Noop); !ok {
+		t.Fatal("empty Multi must be Noop")
+	}
+	if _, ok := Multi(nil, Noop{}).(Noop); !ok {
+		t.Fatal("Multi of nil and Noop must be Noop")
+	}
+	m := NewMetrics()
+	if Multi(nil, m) != Observer(m) {
+		t.Fatal("single live observer must be returned unwrapped")
+	}
+	m2 := NewMetrics()
+	combined := Multi(m, m2)
+	combined.Counter("c", "", 2)
+	if m.Snapshot().Counter("c", "") != 2 || m2.Snapshot().Counter("c", "") != 2 {
+		t.Fatal("Multi must fan counters out to every member")
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	m.StageStart(StageEncode)
+	m.StageEnd(StageEncode, 2*time.Second)
+	m.FrameDone(StageEncode, 30)
+	m.FrameDone(StageEncode, 30)
+	m.Counter("flips", "BCH-6", 5)
+	m.Counter("flips", "BCH-6", 7)
+	m.Counter("flips", "None", 1)
+	m.Gauge("density", "", 1.5)
+	m.Gauge("density", "", 2.5) // gauges keep the last value
+
+	s := m.Snapshot()
+	if len(s.Stages) != 1 || s.Stages[0].Stage != StageEncode {
+		t.Fatalf("stages: %+v", s.Stages)
+	}
+	st := s.Stages[0]
+	if st.Calls != 1 || st.Frames != 60 || st.Wall != 2*time.Second {
+		t.Fatalf("stage agg: %+v", st)
+	}
+	if st.FramesPerSec != 30 {
+		t.Fatalf("frames/s: %v", st.FramesPerSec)
+	}
+	if got := s.Counter("flips", "BCH-6"); got != 12 {
+		t.Fatalf("BCH-6 flips: %d", got)
+	}
+	if got := s.CounterTotal("flips"); got != 13 {
+		t.Fatalf("flips total: %d", got)
+	}
+	if got := s.Gauge("density", ""); got != 2.5 {
+		t.Fatalf("gauge: %v", got)
+	}
+	// Counters are sorted by (name, label) for deterministic rendering.
+	if s.Counters[0].Label != "BCH-6" || s.Counters[1].Label != "None" {
+		t.Fatalf("counter order: %+v", s.Counters)
+	}
+
+	m.Reset()
+	if got := m.Snapshot(); len(got.Stages)+len(got.Counters)+len(got.Gauges) != 0 {
+		t.Fatalf("reset left data: %+v", got)
+	}
+}
+
+func TestMetricsConcurrentReaders(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	stopped := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopped:
+				return
+			default:
+				_ = m.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("c", "", 1)
+				m.FrameDone(StageDecode, 1)
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stopped)
+	wg.Wait()
+	if got := m.Snapshot().Counter("c", ""); got != 4000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestSnapshotText(t *testing.T) {
+	m := NewMetrics()
+	m.StageEnd(StageDecode, time.Millisecond)
+	m.FrameDone(StageDecode, 10)
+	m.Counter(CtrResidualFlips, "None", 3)
+	var b strings.Builder
+	if err := m.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"decode", CtrResidualFlips, "None"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.StageStart(StageInject)
+	tr.FrameDone(StageInject, 1)
+	tr.Counter(CtrResidualFlips, "BCH-6", 4)
+	tr.Gauge(GaugeCellsPerPixel, "", 1.25)
+	tr.StageEnd(StageInject, 3*time.Millisecond)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []string
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev["ev"].(string))
+	}
+	want := []string{"stage_start", "frame", "counter", "gauge", "stage_end"}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink failed" }
+
+func TestTraceLatchesFirstError(t *testing.T) {
+	tr := NewTrace(failWriter{})
+	tr.StageStart(StageEncode)
+	if tr.Err() == nil {
+		t.Fatal("write error must latch")
+	}
+	// Subsequent events are dropped, not retried.
+	tr.StageEnd(StageEncode, time.Second)
+	if tr.Err() == nil {
+		t.Fatal("error must persist")
+	}
+}
+
+// TestNoopPathDoesNotAllocate is the acceptance guard for the hot path: the
+// per-frame publication pattern used inside the worker loops (context
+// lookup, FrameDone, Counter with existing strings, span bracketing) must
+// not allocate with the no-op observer.
+func TestNoopPathDoesNotAllocate(t *testing.T) {
+	ctx := context.Background()
+	scheme := "BCH-6"
+	allocs := testing.AllocsPerRun(1000, func() {
+		o := From(ctx)
+		sp := StartSpan(o, StageInject)
+		o.FrameDone(StageInject, 1)
+		o.Counter(CtrResidualFlips, scheme, 3)
+		o.Gauge(GaugeCellsPerPixel, "", 1.5)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op observer path allocates %.1f times per frame", allocs)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace is a streaming JSON-lines Observer: every event is written to the
+// underlying writer as one JSON object per line, timestamped in
+// microseconds since the trace was created. The writer is serialized with a
+// mutex, so a Trace is safe to attach to parallel stages; events from
+// concurrent workers interleave in arrival order.
+//
+// The first write error is latched and returned by Err; subsequent events
+// are dropped so a broken sink cannot stall the pipeline.
+type Trace struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error
+}
+
+// NewTrace returns a trace sink writing JSON lines to w.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: w, start: time.Now()}
+}
+
+// traceEvent is one JSON line.
+type traceEvent struct {
+	// TimeUS is microseconds since the trace was created.
+	TimeUS int64  `json:"t_us"`
+	Event  string `json:"ev"`
+	Stage  string `json:"stage,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Label  string `json:"label,omitempty"`
+	// WallUS is the span wall time in microseconds (stage_end only).
+	WallUS int64 `json:"wall_us,omitempty"`
+	// Frames is the unit count of a frame event.
+	Frames int `json:"frames,omitempty"`
+	// Delta is a counter increment, Value a gauge level.
+	Delta int64   `json:"delta,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+func (t *Trace) emit(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	ev.TimeUS = time.Since(t.start).Microseconds()
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// StageStart implements Observer.
+func (t *Trace) StageStart(stage string) {
+	t.emit(traceEvent{Event: "stage_start", Stage: stage})
+}
+
+// StageEnd implements Observer.
+func (t *Trace) StageEnd(stage string, wall time.Duration) {
+	t.emit(traceEvent{Event: "stage_end", Stage: stage, WallUS: wall.Microseconds()})
+}
+
+// FrameDone implements Observer.
+func (t *Trace) FrameDone(stage string, frames int) {
+	t.emit(traceEvent{Event: "frame", Stage: stage, Frames: frames})
+}
+
+// Counter implements Observer.
+func (t *Trace) Counter(name, label string, delta int64) {
+	t.emit(traceEvent{Event: "counter", Name: name, Label: label, Delta: delta})
+}
+
+// Gauge implements Observer.
+func (t *Trace) Gauge(name, label string, v float64) {
+	t.emit(traceEvent{Event: "gauge", Name: name, Label: label, Value: v})
+}

@@ -2,7 +2,9 @@
 // in the system: GOP-parallel encoding and decoding, per-frame error
 // injection and footprint accounting, the analysis fan-out and the quality
 // metric workers. It provides deterministic, context-aware fan-out over an
-// index space with a bounded number of goroutines.
+// index space with a bounded number of goroutines, and optional
+// runtime/pprof labelling so CPU profiles attribute samples to pipeline
+// stages.
 //
 // Determinism contract: ForEach itself imposes no ordering between items, so
 // callers must make items independent (write to disjoint slice elements,
@@ -15,6 +17,8 @@ package par
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -37,6 +41,20 @@ func Workers(n int) int {
 // returned — the same error a serial loop would have surfaced first — and
 // no further items are scheduled.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachLabeled(ctx, n, workers, "", "", fn)
+}
+
+// ForEachLabeled is ForEach with runtime/pprof labels applied around the
+// worker tasks, so CPU profiles attribute samples to pipeline stages.
+//
+// With stage != "" and itemKey == "", every worker runs its whole item loop
+// under the label set {stage: stage} — the cheap mode for per-frame
+// fan-outs with many small items. With itemKey != "" each item additionally
+// runs under {itemKey: i} (e.g. stage=encode, gop=3), which costs one label
+// set per item and suits coarse units such as GOPs or decode spans. With
+// stage == "" no labels are applied and the behaviour and cost are exactly
+// ForEach's. Labels never affect results: they only annotate profiles.
+func ForEachLabeled(ctx context.Context, n, workers int, stage, itemKey string, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -44,16 +62,34 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
+	run := fn
+	if stage != "" && itemKey != "" {
+		run = func(i int) error {
+			var err error
+			pprof.Do(ctx, pprof.Labels("stage", stage, itemKey, strconv.Itoa(i)), func(context.Context) {
+				err = fn(i)
+			})
+			return err
 		}
-		return nil
+	}
+	if workers == 1 {
+		serial := func() error {
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := run(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if stage == "" || itemKey != "" {
+			return serial()
+		}
+		var err error
+		pprof.Do(ctx, pprof.Labels("stage", stage), func(context.Context) { err = serial() })
+		return err
 	}
 
 	var (
@@ -63,23 +99,30 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	)
 	next.Store(-1)
 	errs := make([]error, n)
+	loop := func() {
+		for {
+			if stop.Load() || ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			if err := run(i); err != nil {
+				errs[i] = err
+				stop.Store(true)
+				return
+			}
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				if stop.Load() || ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					stop.Store(true)
-					return
-				}
+			if stage != "" && itemKey == "" {
+				pprof.Do(ctx, pprof.Labels("stage", stage), func(context.Context) { loop() })
+			} else {
+				loop()
 			}
 		}()
 	}

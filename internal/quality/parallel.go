@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"videoapp/internal/frame"
+	"videoapp/internal/obs"
 	"videoapp/internal/par"
 )
 
@@ -26,9 +27,11 @@ func MeasureContext(ctx context.Context, ref, dist *frame.Sequence, workers int)
 	if len(ref.Frames) == 0 {
 		return Report{}, fmt.Errorf("quality: empty sequences")
 	}
+	o := obs.From(ctx)
+	defer obs.StartSpan(o, obs.StageMeasure).End()
 	n := len(ref.Frames)
 	perFrame := make([]frameReport, n)
-	err := par.ForEach(ctx, n, workers, func(i int) error {
+	err := par.ForEachLabeled(ctx, n, workers, obs.StageMeasure, "", func(i int) error {
 		a, b := ref.Frames[i], dist.Frames[i]
 		var fr frameReport
 		var err error
@@ -45,6 +48,7 @@ func MeasureContext(ctx context.Context, ref, dist *frame.Sequence, workers int)
 			return err
 		}
 		perFrame[i] = fr
+		o.FrameDone(obs.StageMeasure, 1)
 		return nil
 	})
 	if err != nil {

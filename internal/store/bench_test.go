@@ -1,0 +1,73 @@
+package store
+
+import (
+	"context"
+	"testing"
+
+	"videoapp/internal/bch"
+	"videoapp/internal/core"
+	"videoapp/internal/mlc"
+)
+
+// scrubSystem builds a system with a non-default scrub interval, the
+// configuration whose residual rates require the expensive binomial
+// recomputation instead of the nominal Table 1 values.
+func scrubSystem(b testing.TB) *System {
+	b.Helper()
+	s, err := New(Config{Substrate: mlc.Default(), Assignment: core.PaperAssignment(), ScrubMonths: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkResidualRate is the regression guard for the per-scheme
+// memoization: residualRate used to recompute the BCH residual-rate
+// binomial sum on every segment of every frame whenever the scrub interval
+// deviated from the substrate default; New now computes it once per
+// assignment scheme and lookups are map hits.
+func BenchmarkResidualRate(b *testing.B) {
+	s := scrubSystem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.residualRate(bch.SchemeBCH6) <= 0 {
+			b.Fatal("BCH-6 residual rate must be positive at a 12-month scrub interval")
+		}
+	}
+}
+
+// BenchmarkStoreScrubOverride exercises the full injection path on the
+// recomputed-rate configuration, where every segment consults residualRate.
+func BenchmarkStoreScrubOverride(b *testing.B) {
+	v, _, parts, _ := buildVideo(b)
+	s := scrubSystem(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: int64(i), Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestResidualRateMemoMatchesCompute pins the memo table to the direct
+// computation for every scheme in the assignment.
+func TestResidualRateMemoMatchesCompute(t *testing.T) {
+	for _, months := range []float64{0, 3, 12} {
+		s, err := New(Config{Substrate: mlc.Default(), Assignment: core.PaperAssignment(), ScrubMonths: months})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(sc bch.Scheme) {
+			if got, want := s.residualRate(sc), s.computeResidualRate(sc); got != want {
+				t.Fatalf("months=%v scheme=%s: memoized %g != computed %g", months, sc.Name, got, want)
+			}
+		}
+		for _, bound := range s.cfg.Assignment.Bounds {
+			check(bound.Scheme)
+		}
+		check(s.cfg.Assignment.Header)
+		// A scheme outside the assignment falls back to direct computation.
+		check(bch.SchemeBCH11)
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -32,7 +33,7 @@ func TestBlockAccurateMatchesAnalyticRates(t *testing.T) {
 	const runs = 40
 	var flips float64
 	for run := 0; run < runs; run++ {
-		_, n, err := sys.Store(v, parts, rand.New(rand.NewSource(int64(run))))
+		_, n, err := sys.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(int64(run)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestBlockAccurateProtectedNearlySilent(t *testing.T) {
 	}
 	totalFlips := 0
 	for run := 0; run < 30; run++ {
-		_, n, err := sys.Store(v, parts, rand.New(rand.NewSource(int64(1000+run))))
+		_, n, err := sys.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(int64(1000 + run)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestBlockAccurateStillDecodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stored, _, err := sys.Store(v, parts, rand.New(rand.NewSource(2)))
+	stored, _, err := sys.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(2))})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"videoapp/internal/codec"
@@ -12,11 +13,12 @@ import (
 	"videoapp/internal/mlc"
 )
 
-// TestStoreSeededDeterministicAcrossWorkers is the core reproducibility
+// TestStoreContextDeterministicAcrossWorkers is the core reproducibility
 // guarantee of the parallel storage path: for a fixed seed, the stored
 // payload bytes and the flip count are identical at every worker count.
-func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
+func TestStoreContextDeterministicAcrossWorkers(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
+	ctx := context.Background()
 	for _, cfg := range []Config{
 		{Substrate: mlc.Default(), Assignment: core.PaperAssignment()},
 		{Substrate: mlc.Default(), Assignment: core.PaperAssignment(), BlockAccurate: true},
@@ -25,7 +27,7 @@ func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref, refFlips, err := s.StoreSeeded(v, parts, 42, 1)
+		ref, refFlips, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: 42, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +35,7 @@ func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatalf("block-accurate=%v: expected some residual flips, got %d", cfg.BlockAccurate, refFlips)
 		}
 		for _, workers := range []int{2, 8} {
-			got, flips, err := s.StoreSeeded(v, parts, 42, workers)
+			got, flips, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: 42, Workers: workers})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +49,7 @@ func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
 			}
 		}
 		// A different seed must give a different error pattern.
-		other, _, err := s.StoreSeeded(v, parts, 43, 4)
+		other, _, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: 43, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,14 +66,63 @@ func TestStoreSeededDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestStoreSeededDoesNotMutateInput(t *testing.T) {
+// TestDeprecatedWrappersMatchStoreContext pins the compatibility contract of
+// the thin wrappers: Store, StoreSeeded and StoreSeededContext must behave
+// exactly like StoreContext with the corresponding StoreOpts.
+func TestDeprecatedWrappersMatchStoreContext(t *testing.T) {
+	v, _, parts, _ := buildVideo(t)
+	s := variableSystem(t)
+	ctx := context.Background()
+
+	ref, refFlips, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, call := range map[string]func() (*codec.Video, int, error){
+		"StoreSeeded":        func() (*codec.Video, int, error) { return s.StoreSeeded(v, parts, 42, 4) },
+		"StoreSeededContext": func() (*codec.Video, int, error) { return s.StoreSeededContext(ctx, v, parts, 42, 4) },
+	} {
+		got, flips, err := call()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if flips != refFlips {
+			t.Fatalf("%s: %d flips, want %d", name, flips, refFlips)
+		}
+		for f := range ref.Frames {
+			if !bytes.Equal(ref.Frames[f].Payload, got.Frames[f].Payload) {
+				t.Fatalf("%s: frame %d payload differs from StoreContext", name, f)
+			}
+		}
+	}
+
+	// The rng wrapper draws the same serial stream as StoreOpts{Rng}.
+	rngRef, rngFlips, err := s.StoreContext(ctx, v, parts, StoreOpts{Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, flips, err := s.Store(v, parts, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != rngFlips {
+		t.Fatalf("Store: %d flips, want %d", flips, rngFlips)
+	}
+	for f := range rngRef.Frames {
+		if !bytes.Equal(rngRef.Frames[f].Payload, got.Frames[f].Payload) {
+			t.Fatalf("Store: frame %d payload differs from StoreContext{Rng}", f)
+		}
+	}
+}
+
+func TestStoreContextDoesNotMutateInput(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
 	before := make([][]byte, len(v.Frames))
 	for f := range v.Frames {
 		before[f] = append([]byte(nil), v.Frames[f].Payload...)
 	}
-	if _, _, err := s.StoreSeeded(v, parts, 7, 8); err != nil {
+	if _, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Seed: 7, Workers: 8}); err != nil {
 		t.Fatal(err)
 	}
 	for f := range v.Frames {
@@ -116,30 +167,33 @@ func TestPartitionMismatchSentinel(t *testing.T) {
 	if _, err := s.Footprint(v, parts[:1], pixels); !errors.Is(err, ErrPartitionMismatch) {
 		t.Fatalf("Footprint: got %v", err)
 	}
-	if _, _, err := s.StoreSeeded(v, parts[:1], 1, 2); !errors.Is(err, ErrPartitionMismatch) {
-		t.Fatalf("StoreSeeded: got %v", err)
+	if _, _, err := s.StoreContext(context.Background(), v, parts[:1], StoreOpts{Seed: 1, Workers: 2}); !errors.Is(err, ErrPartitionMismatch) {
+		t.Fatalf("StoreContext: got %v", err)
 	}
 }
 
-func TestStoreSeededCancelled(t *testing.T) {
+func TestStoreContextCancelled(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := s.StoreSeededContext(ctx, v, parts, 1, 2); !errors.Is(err, context.Canceled) {
+	if _, _, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: 1, Workers: 2}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v", err)
+	}
+	if _, _, err := s.StoreContext(ctx, v, parts, StoreOpts{Rng: rand.New(rand.NewSource(1))}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("rng path: got %v", err)
 	}
 	if _, err := s.FootprintContext(ctx, v, parts, 100, 2); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v", err)
 	}
 }
 
-// TestStoreSeededRoundTripDecodes makes sure the seeded path composes with
+// TestStoreContextRoundTripDecodes makes sure the seeded path composes with
 // the decoder exactly like the rng path does.
-func TestStoreSeededRoundTripDecodes(t *testing.T) {
+func TestStoreContextRoundTripDecodes(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
-	stored, _, err := s.StoreSeeded(v, parts, 3, 4)
+	stored, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Seed: 3, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,9 @@
 // Three designs from Figure 11 are expressible through the assignment:
 // uniform correction (everything BCH-16), variable correction (Table 1) and
 // ideal correction (error-free, overhead-free).
+//
+// StoreContext is the single round-trip entry point; Store, StoreSeeded and
+// StoreSeededContext survive as thin deprecated wrappers over it.
 package store
 
 import (
@@ -18,6 +21,7 @@ import (
 	"videoapp/internal/codec"
 	"videoapp/internal/core"
 	"videoapp/internal/mlc"
+	"videoapp/internal/obs"
 	"videoapp/internal/par"
 	"videoapp/internal/sim"
 )
@@ -45,6 +49,10 @@ type Config struct {
 type System struct {
 	cfg  Config
 	rber float64
+	// resid memoizes residualRate per scheme for every scheme reachable
+	// through the assignment. It is built once in New and read-only after,
+	// so concurrent injections share it without locking.
+	resid map[bch.Scheme]float64
 }
 
 // New validates the configuration and builds a System.
@@ -54,6 +62,11 @@ func New(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg}
 	s.rber = cfg.Substrate.EffectiveRBER(cfg.ScrubMonths)
+	s.resid = map[bch.Scheme]float64{}
+	for _, b := range cfg.Assignment.Bounds {
+		s.resid[b.Scheme] = s.computeResidualRate(b.Scheme)
+	}
+	s.resid[cfg.Assignment.Header] = s.computeResidualRate(cfg.Assignment.Header)
 	return s, nil
 }
 
@@ -63,8 +76,21 @@ func (s *System) Config() Config { return s.cfg }
 // RBER returns the raw bit error rate the system operates at.
 func (s *System) RBER() float64 { return s.rber }
 
-// residualRate returns the post-correction bit error rate for a scheme.
+// residualRate returns the post-correction bit error rate for a scheme,
+// memoized at New time for every scheme in the assignment. Schemes outside
+// the assignment (possible with hand-built partitions) fall back to the
+// direct computation.
 func (s *System) residualRate(sc bch.Scheme) float64 {
+	if r, ok := s.resid[sc]; ok {
+		return r
+	}
+	return s.computeResidualRate(sc)
+}
+
+// computeResidualRate is the uncached residual-rate model: nominal Table 1
+// rates at the substrate's reference scrub interval, the §6.4 recomputed
+// BCH residual beyond it.
+func (s *System) computeResidualRate(sc bch.Scheme) float64 {
 	if sc.NominalRate == 0 {
 		return 0 // ideal correction
 	}
@@ -113,13 +139,17 @@ func (s *System) Footprint(v *codec.Video, parts []core.FramePartition, pixels i
 // FootprintContext is Footprint with per-frame fan-out across workers and
 // cooperative cancellation. Per-frame costs are accumulated independently
 // and reduced in frame order, so the result is identical for every worker
-// count.
+// count. An observer attached to ctx (obs.With) receives the footprint
+// stage span, per-frame progress, per-scheme payload-bit counters and the
+// cell-density gauges.
 func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, pixels int64, workers int) (Stats, error) {
 	if len(parts) != len(v.Frames) {
 		return Stats{}, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
 	}
+	o := obs.From(ctx)
+	defer obs.StartSpan(o, obs.StageFootprint).End()
 	costs := make([]frameCost, len(v.Frames))
-	err := par.ForEach(ctx, len(v.Frames), workers, func(f int) error {
+	err := par.ForEachLabeled(ctx, len(v.Frames), workers, obs.StageFootprint, "", func(f int) error {
 		ef := v.Frames[f]
 		fc := frameCost{perScheme: map[string]int64{}}
 		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
@@ -129,6 +159,7 @@ func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []c
 			fc.parity += float64(seg.Bits) * seg.Scheme.Overhead()
 		}
 		costs[f] = fc
+		o.FrameDone(obs.StageFootprint, 1)
 		return nil
 	})
 	if err != nil {
@@ -157,71 +188,74 @@ func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []c
 	if total > 0 {
 		st.ECCOverhead = parity / total
 	}
+	for name, bits := range st.PerScheme {
+		o.Counter(obs.CtrPayloadBits, name, bits)
+	}
+	o.Counter(obs.CtrHeaderBits, "", st.HeaderBits)
+	o.Gauge(obs.GaugeCells, "", st.Cells)
+	o.Gauge(obs.GaugeCellsPerPixel, "", st.CellsPerPixel)
 	return st, nil
 }
 
-// Store simulates one write-scrub-read round trip: it returns a deep copy of
-// v whose payload bits carry the residual errors of their assigned
-// protection levels. Headers and pivots are stored precisely and come back
-// intact (their nominal 1e-16 rate is below any plausible per-video
-// probability; the §6.4 scaling handles it analytically where needed).
-func (s *System) Store(v *codec.Video, parts []core.FramePartition, rng *rand.Rand) (*codec.Video, int, error) {
+// StoreOpts configures one StoreContext round trip.
+type StoreOpts struct {
+	// Seed selects the deterministic per-frame error streams: every frame
+	// draws from its own RNG seeded by a SplitMix64 finalizer over (Seed,
+	// frame), so the stored bits and flip count are a pure function of
+	// (video, parts, Seed) — never of Workers or the goroutine schedule.
+	// Ignored when Rng is set.
+	Seed int64
+	// Workers bounds the per-frame fan-out; <= 0 selects GOMAXPROCS.
+	// Forced to 1 when Rng is set.
+	Workers int
+	// Observer receives the inject stage span, per-frame progress and the
+	// per-scheme raw/residual flip counters. nil falls back to the
+	// observer attached to ctx (obs.With), then to the no-op default.
+	Observer obs.Observer
+	// Rng, when non-nil, selects the legacy serial error stream: one
+	// caller-owned source drawn frame by frame in order, matching the
+	// deprecated Store method. The outcome then depends on the source's
+	// prior state, and the round trip runs on a single worker.
+	Rng *rand.Rand
+}
+
+// StoreContext simulates one write-scrub-read round trip: it returns a deep
+// copy of v whose payload bits carry the residual errors of their assigned
+// protection levels, plus the number of injected residual errors. Headers
+// and pivots are stored precisely and come back intact (their nominal 1e-16
+// rate is below any plausible per-video probability; the §6.4 scaling
+// handles it analytically where needed).
+//
+// Cancellation is cooperative, checked at frame boundaries. See StoreOpts
+// for seeding, worker and observer selection.
+func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, o StoreOpts) (*codec.Video, int, error) {
 	if len(parts) != len(v.Frames) {
 		return nil, 0, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
 	}
-	out := v.Clone()
-	flips := 0
-	for f, ef := range out.Frames {
-		flips += s.injectFrame(rng, ef, parts[f])
+	ob := o.Observer
+	if ob == nil {
+		ob = obs.From(ctx)
 	}
-	return out, flips, nil
-}
-
-// injectFrame applies the configured error model to one frame's payload and
-// returns the number of surviving flips.
-func (s *System) injectFrame(rng *rand.Rand, ef *codec.EncodedFrame, part core.FramePartition) int {
-	flips := 0
-	for _, seg := range part.Segments(ef.PayloadBits()) {
-		if s.cfg.BlockAccurate {
-			flips += s.injectBlockAccurate(rng, ef.Payload, seg)
-		} else {
-			flips += s.injectNominal(rng, ef.Payload, seg)
+	defer obs.StartSpan(ob, obs.StageInject).End()
+	out := v.Clone()
+	if o.Rng != nil {
+		// Legacy serial stream: draws must happen in frame order from the
+		// one shared source.
+		flips := 0
+		for f, ef := range out.Frames {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			flips += s.injectFrame(o.Rng, ef, parts[f], ob)
+			ob.FrameDone(obs.StageInject, 1)
 		}
+		return out, flips, nil
 	}
-	return flips
-}
-
-// frameSeed derives the sub-stream seed of frame f from the caller's seed
-// with a SplitMix64-style finalizer, decorrelating neighbouring frames while
-// staying a pure function of (seed, f) — the property that makes StoreSeeded
-// reproducible at every worker count.
-func frameSeed(seed int64, f int) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(f+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
-
-// StoreSeeded is the deterministic parallel form of Store: every frame's
-// error injection draws from its own rand stream seeded by frameSeed(seed,
-// f), so the stored bits and flip count depend only on (video, parts, seed)
-// — never on the worker count or goroutine schedule. workers <= 0 selects
-// GOMAXPROCS.
-func (s *System) StoreSeeded(v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
-	return s.StoreSeededContext(context.Background(), v, parts, seed, workers)
-}
-
-// StoreSeededContext is StoreSeeded with cooperative cancellation checked at
-// frame boundaries.
-func (s *System) StoreSeededContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
-	if len(parts) != len(v.Frames) {
-		return nil, 0, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
-	}
-	out := v.Clone()
 	flips := make([]int, len(out.Frames))
-	err := par.ForEach(ctx, len(out.Frames), workers, func(f int) error {
-		rng := rand.New(rand.NewSource(frameSeed(seed, f)))
-		flips[f] = s.injectFrame(rng, out.Frames[f], parts[f])
+	err := par.ForEachLabeled(ctx, len(out.Frames), o.Workers, obs.StageInject, "", func(f int) error {
+		rng := rand.New(rand.NewSource(frameSeed(o.Seed, f)))
+		flips[f] = s.injectFrame(rng, out.Frames[f], parts[f], ob)
+		ob.FrameDone(obs.StageInject, 1)
 		return nil
 	})
 	if err != nil {
@@ -232,6 +266,66 @@ func (s *System) StoreSeededContext(ctx context.Context, v *codec.Video, parts [
 		total += n
 	}
 	return out, total, nil
+}
+
+// Store simulates one round trip drawing from the caller's serial RNG
+// stream.
+//
+// Deprecated: use StoreContext with StoreOpts{Rng: rng}. Retained as a thin
+// wrapper for existing callers.
+func (s *System) Store(v *codec.Video, parts []core.FramePartition, rng *rand.Rand) (*codec.Video, int, error) {
+	return s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rng})
+}
+
+// StoreSeeded is the deterministic parallel round trip.
+//
+// Deprecated: use StoreContext with StoreOpts{Seed: seed, Workers:
+// workers}. Retained as a thin wrapper for existing callers.
+func (s *System) StoreSeeded(v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
+	return s.StoreContext(context.Background(), v, parts, StoreOpts{Seed: seed, Workers: workers})
+}
+
+// StoreSeededContext is StoreSeeded with cooperative cancellation.
+//
+// Deprecated: use StoreContext with StoreOpts{Seed: seed, Workers:
+// workers}. Retained as a thin wrapper for existing callers.
+func (s *System) StoreSeededContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
+	return s.StoreContext(ctx, v, parts, StoreOpts{Seed: seed, Workers: workers})
+}
+
+// injectFrame applies the configured error model to one frame's payload,
+// publishes per-scheme raw/residual counters to ob, and returns the number
+// of surviving flips.
+func (s *System) injectFrame(rng *rand.Rand, ef *codec.EncodedFrame, part core.FramePartition, ob obs.Observer) int {
+	flips := 0
+	for _, seg := range part.Segments(ef.PayloadBits()) {
+		var raw, kept int
+		if s.cfg.BlockAccurate {
+			raw, kept = s.injectBlockAccurate(rng, ef.Payload, seg)
+		} else {
+			kept = s.injectNominal(rng, ef.Payload, seg)
+			raw = kept
+		}
+		if raw != 0 {
+			ob.Counter(obs.CtrRawFlips, seg.Scheme.Name, int64(raw))
+		}
+		if kept != 0 {
+			ob.Counter(obs.CtrResidualFlips, seg.Scheme.Name, int64(kept))
+		}
+		flips += kept
+	}
+	return flips
+}
+
+// frameSeed derives the sub-stream seed of frame f from the caller's seed
+// with a SplitMix64-style finalizer, decorrelating neighbouring frames while
+// staying a pure function of (seed, f) — the property that makes StoreContext
+// reproducible at every worker count.
+func frameSeed(seed int64, f int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(f+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 func (s *System) injectNominal(rng *rand.Rand, payload []byte, seg core.Segment) int {
@@ -249,15 +343,15 @@ func (s *System) injectNominal(rng *rand.Rand, payload []byte, seg core.Segment)
 
 // injectBlockAccurate simulates raw substrate errors per BCH block: a block
 // with at most T errors is fully corrected; beyond T the raw errors that
-// landed in the payload portion of the block survive to the reader.
-func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Segment) int {
+// landed in the payload portion of the block survive to the reader. It
+// returns the raw error count alongside the surviving flips.
+func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Segment) (raw, flips int) {
 	sc := seg.Scheme
 	if sc.NominalRate == 0 {
-		return 0
+		return 0, 0
 	}
 	blockPayload := int64(bch.BlockDataBits)
 	blockTotal := blockPayload + int64(10*sc.T)
-	flips := 0
 	for off := int64(0); off < seg.Bits; off += blockPayload {
 		remaining := seg.Bits - off
 		dataBits := blockPayload
@@ -266,6 +360,7 @@ func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Se
 		}
 		totalBits := dataBits + (blockTotal - blockPayload)
 		errs := sim.ErrorPositions(rng, totalBits, s.rber)
+		raw += len(errs)
 		if sc.T > 0 && len(errs) <= sc.T {
 			continue // corrected
 		}
@@ -276,7 +371,7 @@ func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Se
 			}
 		}
 	}
-	return flips
+	return raw, flips
 }
 
 func flipBit(buf []byte, pos int64) {

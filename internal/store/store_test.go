@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestStorePreservesOriginal(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
 	before := append([]byte(nil), v.Frames[1].Payload...)
-	if _, _, err := s.Store(v, parts, rand.New(rand.NewSource(1))); err != nil {
+	if _, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 	for i := range before {
@@ -128,7 +129,7 @@ func TestStoreInjectsAtNoneRate(t *testing.T) {
 	s := variableSystem(t)
 	totalFlips := 0
 	for run := 0; run < 10; run++ {
-		_, flips, err := s.Store(v, parts, rand.New(rand.NewSource(int64(run))))
+		_, flips, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(int64(run)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func TestIdealStoreInjectsNothing(t *testing.T) {
 	parts := an.Partition(core.IdealAssignment())
 	s, _ := New(Config{Substrate: mlc.Default(), Assignment: core.IdealAssignment()})
 	for run := 0; run < 5; run++ {
-		_, flips, err := s.Store(v, parts, rand.New(rand.NewSource(int64(run))))
+		_, flips, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(int64(run)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestUniformStoreEffectivelyClean(t *testing.T) {
 	v, an, _, _ := buildVideo(t)
 	parts := an.Partition(core.UniformAssignment())
 	s, _ := New(Config{Substrate: mlc.Default(), Assignment: core.UniformAssignment()})
-	_, flips, err := s.Store(v, parts, rand.New(rand.NewSource(9)))
+	_, flips, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(9))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestUniformStoreEffectivelyClean(t *testing.T) {
 func TestStoredVideoStillDecodes(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
-	stored, _, err := s.Store(v, parts, rand.New(rand.NewSource(3)))
+	stored, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(3))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestQualityLossBounded(t *testing.T) {
 	s := variableSystem(t)
 	worst := 0.0
 	for run := 0; run < 5; run++ {
-		stored, _, err := s.Store(v, parts, rand.New(rand.NewSource(int64(100+run))))
+		stored, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(int64(100 + run)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestBlockAccurateMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, flips, err := s.Store(v, parts, rand.New(rand.NewSource(4)))
+	_, flips, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rand.New(rand.NewSource(4))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestPartitionCountMismatch(t *testing.T) {
 	if _, err := s.Footprint(v, parts[:1], 100); err == nil {
 		t.Fatal("partition mismatch must error")
 	}
-	if _, _, err := s.Store(v, parts[:1], rand.New(rand.NewSource(1))); err == nil {
+	if _, _, err := s.StoreContext(context.Background(), v, parts[:1], StoreOpts{Rng: rand.New(rand.NewSource(1))}); err == nil {
 		t.Fatal("partition mismatch must error")
 	}
 }
@@ -256,7 +257,7 @@ func BenchmarkStore(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.Store(v, parts, rng); err != nil {
+		if _, _, err := s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rng}); err != nil {
 			b.Fatal(err)
 		}
 	}
