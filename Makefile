@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check build test race bench-parallel fmt vet
+.PHONY: check build test race bench-parallel bench-stream fmt vet
 
 # check is the full verification gate: vet, build, race-enabled tests.
+# Tests run shuffled so inter-test ordering dependencies cannot hide.
 check: vet build race
 
 build:
@@ -12,10 +13,10 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 fmt:
 	gofmt -l -w .
@@ -27,3 +28,9 @@ fmt:
 #	benchstat -col /workers par.txt
 bench-parallel:
 	$(GO) test -run='^$$' -bench=BenchmarkParallel -count=10 -benchmem .
+
+# bench-stream compares peak heap of batch Process vs streaming
+# ProcessStream/StreamToArchive at 1x and 4x sequence lengths; streaming
+# peak memory must stay flat as the input grows (results/stream_bench.md).
+bench-stream:
+	$(GO) test -run='^$$' -bench=BenchmarkStreamMemory -benchtime=1x .

@@ -1,0 +1,131 @@
+package videoapp
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videoapp/internal/y4m"
+)
+
+// BenchmarkStreamMemory compares the peak heap growth of the batch pipeline
+// against the streaming one on a 1x and a 4x-length input read from a .y4m
+// file. Batch materializes every raw frame plus the whole encoded video, so
+// its peak grows linearly with the frame count; streaming holds only the
+// chunks in flight, so its peak must stay roughly flat (the acceptance
+// criterion is sublinear growth batch→stream at 4x). Peaks are reported as
+// the peak-MB metric; results are committed in results/stream_bench.md.
+//
+//	make bench-stream
+func BenchmarkStreamMemory(b *testing.B) {
+	const baseFrames = 48 // 12 closed GOPs at GOPSize 4
+	params := DefaultParams()
+	params.GOPSize = 4
+	params.SearchRange = 8
+
+	writeY4M := func(frames int) string {
+		seq, err := GenerateTestVideo("crew_like", 160, 96, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), "in.y4m")
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := y4m.Write(f, seq); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return path
+	}
+
+	for _, scale := range []int{1, 4} {
+		frames := scale * baseFrames
+		path := writeY4M(frames)
+
+		batch := func(b *testing.B) {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			seq, err := y4m.ReadAll(f, path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := NewPipeline(WithParams(params))
+			if _, err := p.ProcessContext(context.Background(), seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream := func(b *testing.B) {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			src, err := Y4MSource(f, path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := NewPipeline(WithParams(params), WithChunkGOPs(1))
+			if _, _, err := p.StreamToArchive(context.Background(), src, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		b.Run("mode=batch/frames="+strconv.Itoa(frames), func(b *testing.B) {
+			benchPeakHeap(b, batch)
+		})
+		b.Run("mode=stream/frames="+strconv.Itoa(frames), func(b *testing.B) {
+			benchPeakHeap(b, stream)
+		})
+	}
+}
+
+// benchPeakHeap runs fn b.N times, sampling HeapAlloc concurrently, and
+// reports the worst observed peak above the post-GC baseline. Sampling at
+// 200µs catches the sustained accumulation that distinguishes batch from
+// streaming (raw frames + encoded video held live), which is the quantity
+// under test — not transient allocator spikes.
+func benchPeakHeap(b *testing.B, fn func(*testing.B)) {
+	var peak atomic.Uint64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(200 * time.Microsecond)
+			defer t.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					runtime.ReadMemStats(&ms)
+					if d := ms.HeapAlloc - base.HeapAlloc; ms.HeapAlloc > base.HeapAlloc && d > peak.Load() {
+						peak.Store(d)
+					}
+				}
+			}
+		}()
+		fn(b)
+		close(stop)
+		<-done
+	}
+	b.ReportMetric(float64(peak.Load())/(1<<20), "peak-MB")
+}

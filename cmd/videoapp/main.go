@@ -12,10 +12,18 @@
 //	videoapp [flags] store               storage footprint + round trip
 //	videoapp [flags] decode              .vapp -> .y4m
 //	videoapp [flags] heatmap             per-MB importance map -> .pgm image
+//	videoapp [flags] archive             stream raw video -> chunked .vacs archive
+//	videoapp [flags] chunk               random-access round trip of one archived chunk
 //	videoapp presets                     list synthetic presets
 //
 // Input is -in FILE (.y4m or .vapp as appropriate) or, when -in is omitted,
 // the synthetic -preset at -w/-h/-frames.
+//
+// The archive command always streams: frames are pulled from the input one
+// closed-GOP chunk (-chunk-gops) at a time and appended to the archive as
+// they finish, so peak memory is bounded by the chunk size, not the video
+// length. The store command accepts -stream to run the same chunked
+// dataflow (the result is bit-identical to the batch path).
 package main
 
 import (
@@ -42,10 +50,14 @@ type options struct {
 	bframes    int
 	slices     int
 	cavlc      bool
+	entropy    string
 	halfpel    bool
 	deblock    bool
 	seed       int64
 	workers    int
+	stream     bool
+	chunkGops  int
+	chunkIdx   int
 	metrics    bool
 	cpuprofile string
 	traceOut   string
@@ -69,11 +81,15 @@ func main() {
 	flag.IntVar(&o.gop, "gop", 30, "I-frame interval")
 	flag.IntVar(&o.bframes, "bframes", 0, "B frames between anchors")
 	flag.IntVar(&o.slices, "slices", 1, "slices per frame")
-	flag.BoolVar(&o.cavlc, "cavlc", false, "use CAVLC instead of CABAC")
+	flag.BoolVar(&o.cavlc, "cavlc", false, "use CAVLC instead of CABAC (shorthand for -entropy cavlc)")
+	flag.StringVar(&o.entropy, "entropy", "", "entropy coder: cabac or cavlc (default: cabac, or -cavlc)")
 	flag.BoolVar(&o.halfpel, "halfpel", false, "half-pel motion compensation")
 	flag.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
 	flag.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
 	flag.IntVar(&o.workers, "workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.stream, "stream", false, "store: process as a stream of closed-GOP chunks (bit-identical to batch)")
+	flag.IntVar(&o.chunkGops, "chunk-gops", 1, "closed GOPs per streaming chunk (archive granularity)")
+	flag.IntVar(&o.chunkIdx, "chunk", 0, "chunk index for the chunk command")
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-stage wall time and pipeline counters (human + JSON)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
 	flag.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
@@ -82,6 +98,10 @@ func main() {
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "store"
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
+		os.Exit(2)
 	}
 	// Ctrl-C cancels the pipeline cooperatively at the next frame boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -144,6 +164,39 @@ func instrumentedRun(ctx context.Context, cmd string, o options) error {
 	return err
 }
 
+// validate rejects flag values that would otherwise surface as a confusing
+// failure (or a silent fallback) deep inside the pipeline.
+func (o options) validate() error {
+	if o.workers < 0 {
+		return fmt.Errorf("-workers %d is negative (0 selects GOMAXPROCS)", o.workers)
+	}
+	if o.in == "" && o.frames <= 0 {
+		return fmt.Errorf("-frames %d must be positive for synthetic input", o.frames)
+	}
+	if o.in == "" && (o.w <= 0 || o.h <= 0) {
+		return fmt.Errorf("-w %d -h %d must be positive for synthetic input", o.w, o.h)
+	}
+	switch o.entropy {
+	case "", "cabac", "cavlc":
+	default:
+		return fmt.Errorf("-entropy %q is not a known coder (want cabac or cavlc)", o.entropy)
+	}
+	if o.entropy == "cabac" && o.cavlc {
+		return fmt.Errorf("-entropy cabac contradicts -cavlc")
+	}
+	if o.chunkGops < 1 {
+		return fmt.Errorf("-chunk-gops %d must be >= 1", o.chunkGops)
+	}
+	if o.chunkIdx < 0 {
+		return fmt.Errorf("-chunk %d must be >= 0", o.chunkIdx)
+	}
+	return nil
+}
+
+// useCAVLC resolves the entropy coder selection from -entropy and the
+// -cavlc shorthand (validated to agree).
+func (o options) useCAVLC() bool { return o.cavlc || o.entropy == "cavlc" }
+
 // pipelineOptions maps the CLI flags 1:1 onto the NewPipeline functional
 // options (see the NewPipeline godoc for the table): the encoder flags via
 // WithParams, -cavlc via WithEntropyCoder, -seed via WithSeed, -workers via
@@ -153,8 +206,9 @@ func (o options) pipelineOptions() []videoapp.Option {
 		videoapp.WithParams(o.params()),
 		videoapp.WithWorkers(o.workers),
 		videoapp.WithSeed(o.seed),
+		videoapp.WithChunkGOPs(o.chunkGops),
 	}
-	if o.cavlc {
+	if o.useCAVLC() {
 		opts = append(opts, videoapp.WithEntropyCoder(videoapp.CAVLC))
 	}
 	if o.mtr != nil {
@@ -174,10 +228,37 @@ func (o options) params() videoapp.Params {
 	p.SlicesPerFrame = o.slices
 	p.HalfPel = o.halfpel
 	p.Deblock = o.deblock
-	if o.cavlc {
+	if o.useCAVLC() {
 		p.Entropy = videoapp.CAVLC
 	}
 	return p
+}
+
+// streamSource opens the raw input as an incrementally read ChunkSource:
+// .y4m files are decoded frame by frame (bounded memory); synthetic input
+// is generated up front and replayed. The caller must invoke the returned
+// closer once streaming finishes.
+func (o options) streamSource() (videoapp.ChunkSource, func() error, error) {
+	if o.in == "" {
+		seq, err := videoapp.GenerateTestVideo(o.preset, o.w, o.h, o.frames)
+		if err != nil {
+			return nil, nil, err
+		}
+		return videoapp.SequenceSource(seq), func() error { return nil }, nil
+	}
+	if looksLikeContainer(o.in) {
+		return nil, nil, fmt.Errorf("streaming needs raw .y4m input, not a .vapp container (%s)", o.in)
+	}
+	f, err := os.Open(o.in)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := videoapp.Y4MSource(f, o.in)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return src, f.Close, nil
 }
 
 // loadRaw returns the raw input sequence: a .y4m file or a synthetic preset.
@@ -346,7 +427,13 @@ func run(ctx context.Context, cmd string, o options) error {
 			}
 			seq = clean
 		}
-		res, err := p.ProcessContext(ctx, seq)
+		var res *videoapp.Result
+		if o.stream {
+			// The chunked dataflow; the result is bit-identical to batch.
+			res, err = p.ProcessStream(ctx, videoapp.SequenceSource(seq))
+		} else {
+			res, err = p.ProcessContext(ctx, seq)
+		}
 		if err != nil {
 			return err
 		}
@@ -368,8 +455,63 @@ func run(ctx context.Context, cmd string, o options) error {
 		fmt.Printf("round trip: %d residual bit errors, PSNR %.2f dB (clean %.2f, loss %.3f dB)\n",
 			flips, p1, p0, p0-p1)
 		return nil
+	case "archive":
+		src, closeSrc, err := o.streamSource()
+		if err != nil {
+			return err
+		}
+		defer closeSrc()
+		p := videoapp.NewPipeline(o.pipelineOptions()...)
+		err = writeOut(o.out, func(f *os.File) error {
+			meta, stats, err := p.StreamToArchive(ctx, src, f)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("archived %dx%d @ %d fps in %d-GOP chunks (GOP %d)\n",
+				meta.W, meta.H, meta.FPS, meta.GOPsPerChunk, meta.GOPSize)
+			fmt.Printf("storage footprint: %.0f cells, %.4f cells/pixel, ECC overhead %.1f%%\n",
+				stats.Cells, stats.CellsPerPixel, stats.ECCOverhead*100)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return closeSrc()
+	case "chunk":
+		if o.in == "" {
+			return fmt.Errorf("the chunk command requires -in ARCHIVE")
+		}
+		f, err := os.Open(o.in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		a, err := videoapp.OpenArchive(f)
+		if err != nil {
+			return err
+		}
+		info, err := a.Info(o.chunkIdx)
+		if err != nil {
+			return err
+		}
+		v, parts, err := a.ReadChunk(o.chunkIdx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chunk %d/%d: frames %d..%d, %d payload bytes\n",
+			o.chunkIdx, a.NumChunks(), info.FirstFrame, info.FirstFrame+info.Frames-1, info.Length)
+		p := videoapp.NewPipeline(append(o.pipelineOptions(), videoapp.WithParams(v.Params))...)
+		dec, flips, err := p.RoundTripChunk(ctx, v, parts, info.FirstFrame, o.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round trip: %d residual bit errors in this chunk\n", flips)
+		if o.out != "" {
+			return writeOut(o.out, func(f *os.File) error { return y4m.Write(f, dec) })
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|presets)", cmd)
+		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|presets)", cmd)
 	}
 }
 

@@ -1,0 +1,287 @@
+// Package chunk is the streaming, bounded-memory form of the pipeline: it
+// segments an incrementally fed frame source into closed-GOP chunks and
+// runs encode → analyze → partition → store per chunk as a staged,
+// channel-connected dataflow with backpressure.
+//
+// Because every chunk boundary is a closed-GOP boundary (a multiple of the
+// encoder's I-frame interval), chunks are fully independent coding units:
+// no prediction, dependency edge or entropy context crosses a boundary.
+// Encoding a chunk on its own therefore produces exactly the bits the batch
+// encoder produces for those frames, the per-chunk dependency analysis
+// equals the batch analysis restricted to the chunk (the analysis DAG
+// factors at the same boundaries, see core's depSpans), and per-frame
+// footprint costs accumulate across chunks to the batch totals. That is the
+// invariant the public ProcessStream API pins with bit-identity tests.
+//
+// Memory stays bounded by the chunk size, not the video length: each stage
+// holds at most one chunk, the connecting channels hold one more each, and
+// raw frames are dropped as soon as the encode stage has consumed them. A
+// server ingesting an hour of video peaks at a few chunks of frames plus
+// the (much smaller) encoded outputs.
+package chunk
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/frame"
+	"videoapp/internal/obs"
+	"videoapp/internal/store"
+)
+
+// Config parameterizes one streaming run.
+type Config struct {
+	// Params configures the encoder. BFrames must be 0: streaming requires
+	// closed GOPs, which is also what makes chunked output bit-identical
+	// to batch output.
+	Params codec.Params
+	// Assignment maps importance classes to ECC schemes for partitioning.
+	Assignment core.ClassAssignment
+	// System, when non-nil, computes per-frame footprint costs for every
+	// chunk (Processed.Costs).
+	System *store.System
+	// GOPsPerChunk sets the chunk granularity in GOPs; <= 0 selects 1.
+	// Larger chunks amortize stage hand-off at the cost of higher peak
+	// memory and coarser random-access units.
+	GOPsPerChunk int
+	// Workers bounds the fan-out inside each stage (GOP-parallel encode,
+	// span-parallel analysis, frame-parallel costs); <= 0 selects
+	// GOMAXPROCS. Results are identical at every worker count.
+	Workers int
+}
+
+// gopsPerChunk normalizes the chunk granularity.
+func (c Config) gopsPerChunk() int {
+	if c.GOPsPerChunk <= 0 {
+		return 1
+	}
+	return c.GOPsPerChunk
+}
+
+// Processed is one fully processed chunk, handed to the sink in chunk
+// order. The video and partitions are chunk-local (frame indices start at
+// 0), making each chunk a self-contained unit: it decodes on its own and
+// appends directly to a chunked archive. FirstFrame positions it in the
+// whole video for callers that stitch a batch-equivalent Result.
+type Processed struct {
+	// Index is the chunk's position in stream order.
+	Index int
+	// FirstFrame is the display/coded index of the chunk's first frame in
+	// the whole video.
+	FirstFrame int
+	// Pixels is the chunk's raw luma pixel count.
+	Pixels int64
+	// Video is the chunk's encoded form with chunk-local frame indices.
+	Video *codec.Video
+	// Importance and CompImportance are the per-MB analysis rows
+	// (chunk-local frame indexing), equal to the batch analysis restricted
+	// to the chunk.
+	Importance, CompImportance [][]float64
+	// Parts is the chunk-local §4.4 partition layout.
+	Parts []core.FramePartition
+	// Costs holds per-frame footprint costs when Config.System is set.
+	Costs []store.FrameCost
+	// HeaderBits is the chunk's precise region size as a standalone unit:
+	// chunk-local frame headers plus pivot tables. Frame indices are
+	// exp-Golomb coded, so stitched (globally indexed) headers can be a
+	// few bits larger; callers reconstructing batch-identical totals must
+	// recompute header bits on the stitched video.
+	HeaderBits int64
+}
+
+// rawChunk is a chunk of raw frames between the reader and encode stages.
+type rawChunk struct {
+	index      int
+	firstFrame int
+	frames     []*frame.Frame
+}
+
+// encChunk carries the encoded chunk between encode and analyze; the raw
+// frames are gone by this point.
+type encChunk struct {
+	index      int
+	firstFrame int
+	pixels     int64
+	video      *codec.Video
+}
+
+// Run drives the staged dataflow: frames are pulled from src, grouped into
+// closed-GOP chunks, and flow encoder → analyzer → storer over channels of
+// capacity one, so a slow downstream stage exerts backpressure all the way
+// back to the source. sink receives every Processed chunk in order on the
+// final stage's goroutine; a sink error cancels the run.
+//
+// Cancellation is cooperative at frame boundaries within stages and at
+// chunk boundaries between them. An observer attached to ctx (obs.With)
+// receives each stage's spans and per-frame progress exactly as in the
+// batch path, plus one stream_chunks count per completed chunk.
+func Run(ctx context.Context, cfg Config, src Source, sink func(*Processed) error) error {
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
+	if cfg.Params.BFrames != 0 {
+		return fmt.Errorf("chunk: streaming requires closed GOPs (BFrames == 0)")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	o := obs.From(ctx)
+
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	rawc := make(chan rawChunk, 1)
+	encc := make(chan encChunk, 1)
+	anc := make(chan *Processed, 1)
+
+	var wg sync.WaitGroup
+	stage := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	// Stage 1: chunker. Pull frames until EOF, emit GOP-aligned chunks.
+	stage(func() error {
+		defer close(rawc)
+		chunkFrames := cfg.gopsPerChunk() * cfg.Params.GOPSize
+		var cur []*frame.Frame
+		var w, h int
+		index, first := 0, 0
+		emit := func() error {
+			rc := rawChunk{index: index, firstFrame: first, frames: cur}
+			select {
+			case rawc <- rc:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			index++
+			first += len(cur)
+			cur = nil
+			return nil
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			f, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("chunk: source: %w", err)
+			}
+			if len(cur) == 0 && index == 0 && w == 0 {
+				w, h = f.W, f.H
+			}
+			if f.W != w || f.H != h {
+				return fmt.Errorf("chunk: frame %d geometry %dx%d differs from stream %dx%d", first+len(cur), f.W, f.H, w, h)
+			}
+			cur = append(cur, f)
+			if len(cur) == chunkFrames {
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+		}
+		if len(cur) > 0 {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+		if index == 0 && len(cur) == 0 {
+			return fmt.Errorf("chunk: source has no frames")
+		}
+		return nil
+	})
+
+	// Stage 2: encoder. Closed-GOP chunks encode independently; the raw
+	// frames are released as soon as the encode returns.
+	stage(func() error {
+		defer close(encc)
+		for rc := range rawc {
+			sub := &frame.Sequence{Name: src.Name(), FPS: src.FPS(), Frames: rc.frames}
+			v, err := codec.EncodeParallelContext(ctx, sub, cfg.Params, cfg.Workers)
+			if err != nil {
+				return err
+			}
+			ec := encChunk{index: rc.index, firstFrame: rc.firstFrame, pixels: sub.PixelCount(), video: v}
+			select {
+			case encc <- ec:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+
+	// Stage 3: analyzer + partitioner. The chunk is a closed dependency
+	// span, so the chunk-local analysis equals the batch analysis rows.
+	stage(func() error {
+		defer close(anc)
+		for ec := range encc {
+			an, err := core.AnalyzeContext(ctx, ec.video, core.DefaultOptions(), cfg.Workers)
+			if err != nil {
+				return err
+			}
+			if err := an.CheckMonotone(); err != nil {
+				return err
+			}
+			sp := obs.StartSpan(o, obs.StagePartition)
+			parts := an.Partition(cfg.Assignment)
+			sp.End()
+			p := &Processed{
+				Index: ec.index, FirstFrame: ec.firstFrame, Pixels: ec.pixels,
+				Video: ec.video, Importance: an.Importance, CompImportance: an.CompImportance,
+				Parts:      parts,
+				HeaderBits: ec.video.HeaderBits() + core.PivotOverheadBits(parts),
+			}
+			select {
+			case anc <- p:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+
+	// Stage 4: storer. Footprint costs per chunk, then the caller's sink —
+	// single goroutine, so chunks arrive in order.
+	stage(func() error {
+		for p := range anc {
+			if cfg.System != nil {
+				costs, err := cfg.System.FrameCosts(ctx, p.Video, p.Parts, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				p.Costs = costs
+			}
+			if err := sink(p); err != nil {
+				return err
+			}
+			o.Counter(obs.CtrChunks, "", 1)
+		}
+		return nil
+	})
+
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,273 @@
+package chunk
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/frame"
+	"videoapp/internal/mlc"
+	"videoapp/internal/store"
+	"videoapp/internal/synth"
+	"videoapp/internal/y4m"
+)
+
+const gopSize = 4
+
+// testSeq generates a deterministic multi-GOP sequence; frames need not be
+// a multiple of the GOP size (ragged tails must stream correctly).
+func testSeq(t testing.TB, frames int) *frame.Sequence {
+	t.Helper()
+	cfg, ok := synth.PresetByName("crew_like")
+	if !ok {
+		t.Fatal("crew_like preset missing")
+	}
+	return synth.Generate(cfg.ScaleTo(96, 64, frames))
+}
+
+func testParams() codec.Params {
+	p := codec.DefaultParams()
+	p.GOPSize = gopSize
+	p.SearchRange = 8
+	return p
+}
+
+func testConfig(t testing.TB, gopsPerChunk, workers int) Config {
+	t.Helper()
+	sys, err := store.New(store.Config{Substrate: mlc.Default(), Assignment: core.PaperAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Params:       testParams(),
+		Assignment:   core.PaperAssignment(),
+		System:       sys,
+		GOPsPerChunk: gopsPerChunk,
+		Workers:      workers,
+	}
+}
+
+// collect runs the pipeline and gathers every chunk in sink order.
+func collect(t testing.TB, cfg Config, src Source) []*Processed {
+	t.Helper()
+	var out []*Processed
+	err := Run(context.Background(), cfg, src, func(p *Processed) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunMatchesBatch pins the streaming pipeline's core invariant: chunked
+// processing of a closed-GOP stream reproduces the batch pipeline bit for
+// bit — encoded payloads, analysis rows, partitions and footprint costs —
+// at several chunk sizes and worker counts, including a ragged tail.
+func TestRunMatchesBatch(t *testing.T) {
+	const frames = 3*gopSize + 2 // ragged final GOP
+	seq := testSeq(t, frames)
+
+	// Batch reference.
+	p := testParams()
+	v, err := codec.Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.Analyze(v, core.DefaultOptions())
+	parts := an.Partition(core.PaperAssignment())
+	sys, err := store.New(store.Config{Substrate: mlc.Default(), Assignment: core.PaperAssignment()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCosts, err := sys.FrameCosts(context.Background(), v, parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, gpc := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("gops=%d/workers=%d", gpc, workers), func(t *testing.T) {
+				cfg := testConfig(t, gpc, workers)
+				chunks := collect(t, cfg, FromSequence(seq))
+
+				next := 0
+				for i, c := range chunks {
+					if c.Index != i || c.FirstFrame != next {
+						t.Fatalf("chunk %d: index %d first %d, want %d %d", i, c.Index, c.FirstFrame, i, next)
+					}
+					for f, cf := range c.Video.Frames {
+						g := c.FirstFrame + f
+						if !bytes.Equal(cf.Payload, v.Frames[g].Payload) {
+							t.Fatalf("chunk %d frame %d: payload differs from batch frame %d", i, f, g)
+						}
+						if !reflect.DeepEqual(c.Importance[f], an.Importance[g]) {
+							t.Fatalf("chunk %d frame %d: importance differs from batch", i, f)
+						}
+						if !reflect.DeepEqual(c.CompImportance[f], an.CompImportance[g]) {
+							t.Fatalf("chunk %d frame %d: comp importance differs from batch", i, f)
+						}
+						if c.Parts[f].Frame != f {
+							t.Fatalf("chunk %d frame %d: partition frame %d not chunk-local", i, f, c.Parts[f].Frame)
+						}
+						if !reflect.DeepEqual(c.Parts[f].Pivots, parts[g].Pivots) {
+							t.Fatalf("chunk %d frame %d: pivots differ from batch", i, f)
+						}
+						if !reflect.DeepEqual(c.Costs[f], refCosts[g]) {
+							t.Fatalf("chunk %d frame %d: costs differ from batch", i, f)
+						}
+					}
+					next += len(c.Video.Frames)
+				}
+				if next != frames {
+					t.Fatalf("streamed %d frames, want %d", next, frames)
+				}
+			})
+		}
+	}
+}
+
+// TestRunChunkShapes checks the chunker's frame grouping, including the
+// ragged tail chunk.
+func TestRunChunkShapes(t *testing.T) {
+	const frames = 2*gopSize + 3
+	cfg := testConfig(t, 1, 2)
+	chunks := collect(t, cfg, FromSequence(testSeq(t, frames)))
+	var sizes []int
+	for _, c := range chunks {
+		sizes = append(sizes, len(c.Video.Frames))
+	}
+	want := []int{gopSize, gopSize, 3}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("chunk sizes %v, want %v", sizes, want)
+	}
+}
+
+func TestRunY4MSourceMatchesSequence(t *testing.T) {
+	seq := testSeq(t, 2*gopSize)
+	var buf bytes.Buffer
+	if err := y4m.Write(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	src, err := FromY4M(&buf, seq.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 1, 2)
+	fromY4M := collect(t, cfg, src)
+	fromSeq := collect(t, cfg, FromSequence(seq))
+	if len(fromY4M) != len(fromSeq) {
+		t.Fatalf("%d chunks from y4m, %d from sequence", len(fromY4M), len(fromSeq))
+	}
+	for i := range fromSeq {
+		for f := range fromSeq[i].Video.Frames {
+			if !bytes.Equal(fromY4M[i].Video.Frames[f].Payload, fromSeq[i].Video.Frames[f].Payload) {
+				t.Fatalf("chunk %d frame %d: y4m source payload differs", i, f)
+			}
+		}
+	}
+}
+
+func TestRunEmptySource(t *testing.T) {
+	cfg := testConfig(t, 1, 1)
+	err := Run(context.Background(), cfg, FromSequence(&frame.Sequence{FPS: 30}), func(*Processed) error { return nil })
+	if err == nil {
+		t.Fatal("empty source must fail")
+	}
+}
+
+func TestRunRejectsBFrames(t *testing.T) {
+	cfg := testConfig(t, 1, 1)
+	cfg.Params.BFrames = 2
+	cfg.Params.GOPSize = 6
+	err := Run(context.Background(), cfg, FromSequence(testSeq(t, 6)), func(*Processed) error { return nil })
+	if err == nil {
+		t.Fatal("BFrames > 0 must be rejected")
+	}
+}
+
+// errSource fails after yielding n frames.
+type errSource struct {
+	src  Source
+	n    int
+	fail error
+}
+
+func (e *errSource) Next() (*frame.Frame, error) {
+	if e.n <= 0 {
+		return nil, e.fail
+	}
+	e.n--
+	return e.src.Next()
+}
+
+func (e *errSource) FPS() int     { return e.src.FPS() }
+func (e *errSource) Name() string { return e.src.Name() }
+
+func TestRunSourceErrorPropagates(t *testing.T) {
+	cfg := testConfig(t, 1, 2)
+	boom := errors.New("disk on fire")
+	src := &errSource{src: FromSequence(testSeq(t, 3*gopSize)), n: gopSize + 1, fail: boom}
+	err := Run(context.Background(), cfg, src, func(*Processed) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestRunSinkErrorPropagates(t *testing.T) {
+	cfg := testConfig(t, 1, 2)
+	boom := errors.New("archive full")
+	err := Run(context.Background(), cfg, FromSequence(testSeq(t, 3*gopSize)), func(p *Processed) error {
+		if p.Index == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	cfg := testConfig(t, 1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Run(ctx, cfg, FromSequence(testSeq(t, 3*gopSize)), func(p *Processed) error {
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// mixedSource yields frames of inconsistent geometry.
+type mixedSource struct{ n int }
+
+func (m *mixedSource) Next() (*frame.Frame, error) {
+	m.n++
+	switch m.n {
+	case 1:
+		return frame.MustNew(96, 64), nil
+	case 2:
+		return frame.MustNew(64, 64), nil
+	}
+	return nil, io.EOF
+}
+
+func (m *mixedSource) FPS() int     { return 30 }
+func (m *mixedSource) Name() string { return "mixed" }
+
+func TestRunRejectsGeometryChange(t *testing.T) {
+	cfg := testConfig(t, 1, 1)
+	err := Run(context.Background(), cfg, &mixedSource{}, func(*Processed) error { return nil })
+	if err == nil {
+		t.Fatal("geometry change mid-stream must be rejected")
+	}
+}

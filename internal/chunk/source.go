@@ -1,0 +1,64 @@
+package chunk
+
+import (
+	"io"
+
+	"videoapp/internal/frame"
+	"videoapp/internal/y4m"
+)
+
+// Source yields raw frames incrementally. The streaming pipeline pulls one
+// chunk's worth of frames at a time, so a Source backed by a file or a
+// network stream keeps peak memory bounded by the chunk size rather than
+// the video length.
+type Source interface {
+	// Next returns the next frame, or io.EOF at the end of the stream.
+	Next() (*frame.Frame, error)
+	// FPS returns the stream's frame rate (0 when unknown).
+	FPS() int
+	// Name identifies the stream for diagnostics ("" when unknown).
+	Name() string
+}
+
+// seqSource replays an in-memory sequence.
+type seqSource struct {
+	seq *frame.Sequence
+	pos int
+}
+
+// FromSequence adapts an in-memory sequence to a Source. It does not reduce
+// memory (the sequence is already materialized) but lets the same chunked
+// pipeline run over both in-memory and streamed inputs.
+func FromSequence(seq *frame.Sequence) Source { return &seqSource{seq: seq} }
+
+func (s *seqSource) Next() (*frame.Frame, error) {
+	if s.pos >= len(s.seq.Frames) {
+		return nil, io.EOF
+	}
+	f := s.seq.Frames[s.pos]
+	s.pos++
+	return f, nil
+}
+
+func (s *seqSource) FPS() int     { return s.seq.FPS }
+func (s *seqSource) Name() string { return s.seq.Name }
+
+// y4mSource decodes frames from a YUV4MPEG2 stream one at a time.
+type y4mSource struct {
+	r    *y4m.Reader
+	name string
+}
+
+// FromY4M wraps a Y4M stream as a Source: frames are decoded on demand, so
+// only the chunks currently in flight are resident.
+func FromY4M(r io.Reader, name string) (Source, error) {
+	yr, err := y4m.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &y4mSource{r: yr, name: name}, nil
+}
+
+func (s *y4mSource) Next() (*frame.Frame, error) { return s.r.Next() }
+func (s *y4mSource) FPS() int                    { return s.r.FPS() }
+func (s *y4mSource) Name() string                { return s.name }

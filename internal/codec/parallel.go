@@ -70,21 +70,9 @@ func EncodeParallelContext(ctx context.Context, seq *frame.Sequence, p Params, w
 	out := &Video{Params: p, W: seq.W(), H: seq.H(), FPS: seq.FPS}
 	base := 0
 	for ci, v := range videos {
+		v.ShiftIndices(base)
 		for _, f := range v.Frames {
 			o.Counter(obs.CtrEncodeFrames, f.Type.String(), 1)
-			f.CodedIdx += base
-			f.DisplayIdx += base
-			if f.RefFwd >= 0 {
-				f.RefFwd += base
-			}
-			if f.RefBwd >= 0 {
-				f.RefBwd += base
-			}
-			for i := range f.MBs {
-				for d := range f.MBs[i].Deps {
-					f.MBs[i].Deps[d].SrcFrame += base
-				}
-			}
 			out.Frames = append(out.Frames, f)
 		}
 		base += chunks[ci].end - chunks[ci].start

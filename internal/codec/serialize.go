@@ -22,7 +22,17 @@ var containerMagic = [4]byte{'V', 'A', 'P', 'P'}
 const containerVersion = 1
 
 // Marshal serializes the video into a self-contained byte stream.
-func Marshal(v *Video) []byte {
+func Marshal(v *Video) []byte { return marshal(v, true) }
+
+// MarshalPrecise serializes only the precisely-stored region of the video:
+// the sequence header and the per-frame headers, with no payload bytes. The
+// frame headers record each payload's length, so UnmarshalPrecise restores
+// the exact frame structure with zeroed payload placeholders — the form a
+// chunked archive stores in its precise cells while the payload bits live
+// in the per-scheme approximate streams.
+func MarshalPrecise(v *Video) []byte { return marshal(v, false) }
+
+func marshal(v *Video, withPayload bool) []byte {
 	w := bitio.NewWriter()
 	for _, b := range containerMagic {
 		w.WriteBits(uint64(b), 8)
@@ -51,7 +61,9 @@ func Marshal(v *Video) []byte {
 		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
 		out = append(out, lenBuf[:]...)
 		out = append(out, hdr...)
-		out = append(out, f.Payload...)
+		if withPayload {
+			out = append(out, f.Payload...)
+		}
 	}
 	return out
 }
@@ -59,7 +71,14 @@ func Marshal(v *Video) []byte {
 // Unmarshal parses a container produced by Marshal. The returned video
 // decodes identically to the original; per-macroblock analysis records are
 // not restored (run the encoder or an analysis pass to regenerate them).
-func Unmarshal(data []byte) (*Video, error) {
+func Unmarshal(data []byte) (*Video, error) { return unmarshal(data, true) }
+
+// UnmarshalPrecise parses a headers-only stream produced by MarshalPrecise:
+// every frame comes back with a zeroed payload of its recorded length, ready
+// for the approximate streams to be merged in.
+func UnmarshalPrecise(data []byte) (*Video, error) { return unmarshal(data, false) }
+
+func unmarshal(data []byte, withPayload bool) (*Video, error) {
 	r := bitio.NewReader(data)
 	for _, want := range containerMagic {
 		b, err := r.ReadBits(8)
@@ -156,11 +175,18 @@ func Unmarshal(data []byte) (*Video, error) {
 			return nil, fmt.Errorf("codec: frame %d: %w", i, err)
 		}
 		pos += hdrLen
-		if payloadLen < 0 || pos+payloadLen > len(data) {
-			return nil, fmt.Errorf("codec: truncated payload at frame %d", i)
+		if withPayload {
+			if payloadLen < 0 || pos+payloadLen > len(data) {
+				return nil, fmt.Errorf("codec: truncated payload at frame %d", i)
+			}
+			f.Payload = append([]byte(nil), data[pos:pos+payloadLen]...)
+			pos += payloadLen
+		} else {
+			if payloadLen < 0 || payloadLen > 1<<30 {
+				return nil, fmt.Errorf("codec: implausible payload length at frame %d", i)
+			}
+			f.Payload = make([]byte, payloadLen)
 		}
-		f.Payload = append([]byte(nil), data[pos:pos+payloadLen]...)
-		pos += payloadLen
 		if f.DisplayIdx >= int(nFrames) || f.CodedIdx != int(i) {
 			return nil, fmt.Errorf("codec: inconsistent frame indices at frame %d", i)
 		}

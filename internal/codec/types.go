@@ -235,6 +235,31 @@ func (v *Video) MBCols() int { return v.W / frame.MBSize }
 // MBRows returns macroblock rows of the coded picture.
 func (v *Video) MBRows() int { return v.H / frame.MBSize }
 
+// ShiftIndices rebases every frame index in the video by base: coded and
+// display indices, header reference indices and per-macroblock dependency
+// sources all move together. It is the stitching primitive behind
+// GOP-parallel encoding and chunked streaming: a closed-GOP video encoded as
+// an independent unit becomes part of a longer video by shifting its indices
+// to the unit's global first-frame position. Payload bytes are untouched, so
+// shifting never changes what the bits decode to.
+func (v *Video) ShiftIndices(base int) {
+	for _, f := range v.Frames {
+		f.CodedIdx += base
+		f.DisplayIdx += base
+		if f.RefFwd >= 0 {
+			f.RefFwd += base
+		}
+		if f.RefBwd >= 0 {
+			f.RefBwd += base
+		}
+		for i := range f.MBs {
+			for d := range f.MBs[i].Deps {
+				f.MBs[i].Deps[d].SrcFrame += base
+			}
+		}
+	}
+}
+
 // Clone returns a deep copy of the video (payload bytes are copied so error
 // injection never mutates the original).
 func (v *Video) Clone() *Video {

@@ -2,6 +2,9 @@ package core
 
 import (
 	"testing"
+
+	"videoapp/internal/bch"
+	"videoapp/internal/bitio"
 )
 
 func TestPartitionsRoundTrip(t *testing.T) {
@@ -94,6 +97,71 @@ func TestUnmarshalPartitionsRejectsGarbage(t *testing.T) {
 	}
 	if _, err := UnmarshalPartitions(data[:1]); err == nil {
 		t.Fatal("truncation must fail")
+	}
+}
+
+// TestUnmarshalPartitionsTruncatedEverywhere cuts a real pivot stream at
+// every byte boundary: the parser must be total (error or parse, never a
+// panic) and a parsed prefix can never carry more frames than the original.
+func TestUnmarshalPartitionsTruncatedEverywhere(t *testing.T) {
+	v := encodeTestVideo(t, "crew_like", 96, 64, 6, smallParams())
+	an := Analyze(v, DefaultOptions())
+	parts := an.Partition(PaperAssignment())
+	data, err := MarshalPartitions(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		got, err := UnmarshalPartitions(data[:n])
+		if err != nil {
+			continue
+		}
+		if len(got) > len(parts) {
+			t.Fatalf("prefix of %d bytes parsed %d frames, original has %d", n, len(got), len(parts))
+		}
+	}
+	if _, err := UnmarshalPartitions(data); err != nil {
+		t.Fatalf("full stream must parse: %v", err)
+	}
+}
+
+// TestUnmarshalPartitionsCorruptHeader exercises the header limits: an
+// absurd frame count, an oversized pivot count, and a stream that ends
+// between a pivot's delta and its scheme id.
+func TestUnmarshalPartitionsCorruptHeader(t *testing.T) {
+	craft := func(build func(w *bitio.Writer)) []byte {
+		w := bitio.NewWriter()
+		build(w)
+		w.AlignByte()
+		return w.Bytes()
+	}
+	cases := map[string][]byte{
+		"oversized frame count": craft(func(w *bitio.Writer) {
+			w.WriteUE(1 << 21)
+		}),
+		"oversized pivot count": craft(func(w *bitio.Writer) {
+			w.WriteUE(1)  // one frame
+			w.WriteUE(65) // 65 pivots > 64 limit
+		}),
+		"missing scheme id": craft(func(w *bitio.Writer) {
+			w.WriteUE(1)   // one frame
+			w.WriteUE(9)   // nine pivots...
+			w.WriteUE(100) // ...but only one delta and nothing after
+		}),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalPartitions(data); err == nil {
+			t.Errorf("%s: must be rejected", name)
+		}
+	}
+}
+
+func TestMarshalPartitionsRejectsUnknownScheme(t *testing.T) {
+	parts := []FramePartition{{Pivots: []Pivot{
+		{Bit: 0, Scheme: bch.Scheme{Name: "BCH-99", T: 99}},
+	}}}
+	if _, err := MarshalPartitions(parts); err == nil {
+		t.Fatal("unknown scheme must be rejected")
 	}
 }
 

@@ -59,6 +59,9 @@ const (
 	// CtrResidualFlips counts post-correction bit errors that survive to
 	// the reader, labelled by ECC scheme.
 	CtrResidualFlips = "store_residual_flips"
+	// CtrChunks counts closed-GOP chunks completed by the streaming
+	// pipeline.
+	CtrChunks = "stream_chunks"
 	// CtrPayloadBits counts stored payload bits, labelled by ECC scheme.
 	CtrPayloadBits = "footprint_payload_bits"
 	// CtrHeaderBits counts precisely-stored header and pivot-table bits.

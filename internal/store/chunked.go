@@ -1,0 +1,393 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+)
+
+// Chunked archive container: the at-rest form of a streamed video, laid out
+// so that any single closed-GOP chunk can be read, decoded and round-tripped
+// without loading the rest — the unit a video server ships to clients.
+//
+//	magic "VACS" | version | W | H | FPS | GOPSize | GOPsPerChunk
+//	per chunk:   marker "CHNK" | first frame | frame count
+//	             | precise len | pivot len | stream count
+//	             | per stream: name len | name | bit count | byte len
+//	             | precise bytes | pivot bytes | stream bytes
+//
+// Each chunk record is self-describing and the payload lengths are all in
+// its fixed-position header, so a reader indexes the whole container by
+// hopping record headers (seeking past payload bytes) and then reads exactly
+// one chunk's bytes to serve it. There is no trailing index to rewrite,
+// which is what makes the container append-on-write: new chunks go at the
+// end, concurrent readers keep working from their existing index.
+//
+// Within a chunk the split mirrors the paper's reliability boundary exactly
+// as Archive does for a whole video: a precise region (headers with payload
+// placeholders, MarshalPrecise form, plus the §4.4 pivot tables) and one
+// approximate stream per ECC scheme (§5.3).
+
+var chunkedMagic = [4]byte{'V', 'A', 'C', 'S'}
+var chunkMarker = [4]byte{'C', 'H', 'N', 'K'}
+
+const chunkedVersion = 1
+
+// ArchiveMeta is the sequence-level header of a chunked archive.
+type ArchiveMeta struct {
+	// W, H, FPS describe the coded sequence.
+	W, H, FPS int
+	// GOPSize is the encoder's I-frame interval; chunk boundaries are
+	// multiples of it, which is what makes chunks independently decodable.
+	GOPSize int
+	// GOPsPerChunk is the nominal chunk granularity (the last chunk may be
+	// shorter).
+	GOPsPerChunk int
+}
+
+// ChunkInfo locates one chunk inside the container.
+type ChunkInfo struct {
+	// Index is the chunk's position in append order.
+	Index int
+	// FirstFrame and Frames give the chunk's coded-frame span in the whole
+	// video.
+	FirstFrame, Frames int
+	// Offset and Length delimit the chunk's payload bytes (precise region,
+	// pivot tables and approximate streams) within the container.
+	Offset, Length int64
+}
+
+// ChunkWriter appends chunks to an archive container. It only ever writes
+// forward — the header goes out once at construction and every Append emits
+// one self-describing record — so it runs against any io.Writer, including
+// a network connection or an append-only log.
+type ChunkWriter struct {
+	w      io.Writer
+	meta   ArchiveMeta
+	off    int64
+	chunks []ChunkInfo
+	frames int
+}
+
+// NewChunkWriter writes the container header and returns a writer ready to
+// append chunks.
+func NewChunkWriter(w io.Writer, meta ArchiveMeta) (*ChunkWriter, error) {
+	if meta.W <= 0 || meta.H <= 0 || meta.GOPSize < 1 || meta.GOPsPerChunk < 1 {
+		return nil, fmt.Errorf("store: invalid archive meta %+v", meta)
+	}
+	hdr := make([]byte, 0, 25)
+	hdr = append(hdr, chunkedMagic[:]...)
+	hdr = append(hdr, chunkedVersion)
+	hdr = appendU32(hdr, uint32(meta.W))
+	hdr = appendU32(hdr, uint32(meta.H))
+	hdr = appendU32(hdr, uint32(meta.FPS))
+	hdr = appendU32(hdr, uint32(meta.GOPSize))
+	hdr = appendU32(hdr, uint32(meta.GOPsPerChunk))
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("store: writing archive header: %w", err)
+	}
+	return &ChunkWriter{w: w, meta: meta, off: int64(len(hdr))}, nil
+}
+
+// Meta returns the sequence-level header.
+func (cw *ChunkWriter) Meta() ArchiveMeta { return cw.meta }
+
+// Chunks lists the records appended so far.
+func (cw *ChunkWriter) Chunks() []ChunkInfo { return cw.chunks }
+
+// Frames returns the total frame count appended so far.
+func (cw *ChunkWriter) Frames() int { return cw.frames }
+
+// Append writes one chunk: a closed-GOP video (frame indices chunk-local)
+// and its partition layout. firstFrame is the chunk's position in the whole
+// video; chunks must arrive in order, each starting where the previous one
+// ended.
+func (cw *ChunkWriter) Append(v *codec.Video, parts []core.FramePartition, firstFrame int) error {
+	if firstFrame != cw.frames {
+		return fmt.Errorf("store: chunk starts at frame %d, want %d (chunks must append in order)", firstFrame, cw.frames)
+	}
+	if len(v.Frames) == 0 {
+		return fmt.Errorf("store: empty chunk")
+	}
+	ss, err := core.SplitStreams(v, parts)
+	if err != nil {
+		return err
+	}
+	pivots, err := core.MarshalPartitions(parts)
+	if err != nil {
+		return err
+	}
+	precise := codec.MarshalPrecise(v)
+
+	names := ss.SchemeNames()
+	rec := make([]byte, 0, 64)
+	rec = append(rec, chunkMarker[:]...)
+	rec = appendU32(rec, uint32(firstFrame))
+	rec = appendU32(rec, uint32(len(v.Frames)))
+	rec = appendU32(rec, uint32(len(precise)))
+	rec = appendU32(rec, uint32(len(pivots)))
+	rec = append(rec, byte(len(names)))
+	for _, name := range names {
+		if len(name) > 255 {
+			return fmt.Errorf("store: scheme name %q too long", name)
+		}
+		rec = append(rec, byte(len(name)))
+		rec = append(rec, name...)
+		rec = binary.BigEndian.AppendUint64(rec, uint64(ss.Bits[name]))
+		rec = appendU32(rec, uint32(len(ss.Streams[name])))
+	}
+	if _, err := cw.w.Write(rec); err != nil {
+		return fmt.Errorf("store: writing chunk header: %w", err)
+	}
+	payloadOff := cw.off + int64(len(rec))
+	var payload int64
+	for _, blob := range [][]byte{precise, pivots} {
+		if _, err := cw.w.Write(blob); err != nil {
+			return fmt.Errorf("store: writing chunk: %w", err)
+		}
+		payload += int64(len(blob))
+	}
+	for _, name := range names {
+		if _, err := cw.w.Write(ss.Streams[name]); err != nil {
+			return fmt.Errorf("store: writing chunk stream %q: %w", name, err)
+		}
+		payload += int64(len(ss.Streams[name]))
+	}
+	cw.chunks = append(cw.chunks, ChunkInfo{
+		Index: len(cw.chunks), FirstFrame: firstFrame, Frames: len(v.Frames),
+		Offset: payloadOff, Length: payload,
+	})
+	cw.off = payloadOff + payload
+	cw.frames += len(v.Frames)
+	return nil
+}
+
+// chunkRec is the reader-side index entry for one chunk.
+type chunkRec struct {
+	info       ChunkInfo
+	preciseLen int64
+	pivotLen   int64
+	streams    []streamRec
+}
+
+type streamRec struct {
+	name  string
+	bits  int64
+	bytes int64
+}
+
+// ChunkArchive is the random-access reader over a chunked container. Open
+// builds the index from the record headers alone — payload bytes are seeked
+// over, never read — and ReadChunk then touches exactly one chunk's bytes.
+type ChunkArchive struct {
+	r    io.ReadSeeker
+	meta ArchiveMeta
+	recs []chunkRec
+}
+
+// OpenChunkArchive indexes a container produced by ChunkWriter.
+func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("store: seeking archive start: %w", err)
+	}
+	var hdr [25]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: reading archive header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != chunkedMagic {
+		return nil, fmt.Errorf("store: bad archive magic")
+	}
+	if hdr[4] != chunkedVersion {
+		return nil, fmt.Errorf("store: unsupported archive version %d", hdr[4])
+	}
+	a := &ChunkArchive{r: r}
+	a.meta = ArchiveMeta{
+		W:            int(binary.BigEndian.Uint32(hdr[5:9])),
+		H:            int(binary.BigEndian.Uint32(hdr[9:13])),
+		FPS:          int(binary.BigEndian.Uint32(hdr[13:17])),
+		GOPSize:      int(binary.BigEndian.Uint32(hdr[17:21])),
+		GOPsPerChunk: int(binary.BigEndian.Uint32(hdr[21:25])),
+	}
+	if a.meta.W <= 0 || a.meta.H <= 0 || a.meta.GOPSize < 1 || a.meta.GOPsPerChunk < 1 {
+		return nil, fmt.Errorf("store: invalid archive meta %+v", a.meta)
+	}
+	off := int64(len(hdr))
+	frames := 0
+	for {
+		rec, next, err := readChunkHeader(a.r, off)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec.info.Index = len(a.recs)
+		if rec.info.FirstFrame != frames {
+			return nil, fmt.Errorf("store: chunk %d starts at frame %d, want %d", rec.info.Index, rec.info.FirstFrame, frames)
+		}
+		frames += rec.info.Frames
+		a.recs = append(a.recs, rec)
+		off = next
+	}
+	return a, nil
+}
+
+// readChunkHeader parses one record header at off, returning the index entry
+// and the offset of the next record. It reads only the header bytes; the
+// payload is skipped with a relative seek. io.EOF reports a clean end of
+// the container.
+func readChunkHeader(r io.ReadSeeker, off int64) (chunkRec, int64, error) {
+	if _, err := r.Seek(off, io.SeekStart); err != nil {
+		return chunkRec{}, 0, fmt.Errorf("store: seeking chunk header: %w", err)
+	}
+	var fixed [21]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		if err == io.EOF {
+			return chunkRec{}, 0, io.EOF
+		}
+		return chunkRec{}, 0, fmt.Errorf("store: truncated chunk header: %w", err)
+	}
+	if [4]byte(fixed[:4]) != chunkMarker {
+		return chunkRec{}, 0, fmt.Errorf("store: bad chunk marker at offset %d", off)
+	}
+	rec := chunkRec{
+		info: ChunkInfo{
+			FirstFrame: int(binary.BigEndian.Uint32(fixed[4:8])),
+			Frames:     int(binary.BigEndian.Uint32(fixed[8:12])),
+		},
+		preciseLen: int64(binary.BigEndian.Uint32(fixed[12:16])),
+		pivotLen:   int64(binary.BigEndian.Uint32(fixed[16:20])),
+	}
+	if rec.info.Frames < 1 || rec.info.Frames > 1<<20 {
+		return chunkRec{}, 0, fmt.Errorf("store: implausible chunk frame count %d", rec.info.Frames)
+	}
+	nStreams := int(fixed[20])
+	hdrLen := int64(len(fixed))
+	payload := rec.preciseLen + rec.pivotLen
+	for s := 0; s < nStreams; s++ {
+		var nameLen [1]byte
+		if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+			return chunkRec{}, 0, fmt.Errorf("store: truncated stream entry: %w", err)
+		}
+		entry := make([]byte, int(nameLen[0])+12)
+		if _, err := io.ReadFull(r, entry); err != nil {
+			return chunkRec{}, 0, fmt.Errorf("store: truncated stream entry: %w", err)
+		}
+		name := string(entry[:nameLen[0]])
+		sr := streamRec{
+			name:  name,
+			bits:  int64(binary.BigEndian.Uint64(entry[nameLen[0] : nameLen[0]+8])),
+			bytes: int64(binary.BigEndian.Uint32(entry[nameLen[0]+8:])),
+		}
+		if sr.bits < 0 || sr.bytes < 0 || sr.bits > sr.bytes*8 {
+			return chunkRec{}, 0, fmt.Errorf("store: stream %q: %d bits in %d bytes", name, sr.bits, sr.bytes)
+		}
+		rec.streams = append(rec.streams, sr)
+		hdrLen += 1 + int64(len(entry))
+		payload += sr.bytes
+	}
+	rec.info.Offset = off + hdrLen
+	rec.info.Length = payload
+	return rec, rec.info.Offset + payload, nil
+}
+
+// Meta returns the sequence-level header.
+func (a *ChunkArchive) Meta() ArchiveMeta { return a.meta }
+
+// NumChunks returns the number of chunks in the container.
+func (a *ChunkArchive) NumChunks() int { return len(a.recs) }
+
+// TotalFrames sums the frame counts of every chunk.
+func (a *ChunkArchive) TotalFrames() int {
+	n := 0
+	for _, rec := range a.recs {
+		n += rec.info.Frames
+	}
+	return n
+}
+
+// Info returns the location of chunk i.
+func (a *ChunkArchive) Info(i int) (ChunkInfo, error) {
+	if i < 0 || i >= len(a.recs) {
+		return ChunkInfo{}, fmt.Errorf("store: chunk %d outside 0..%d", i, len(a.recs)-1)
+	}
+	return a.recs[i].info, nil
+}
+
+// ReadChunk reads and reassembles chunk i: the returned video carries
+// chunk-local frame indices (its first frame is index 0) and decodes on its
+// own, because chunk boundaries are closed-GOP boundaries. Exactly the
+// chunk's payload byte range [Info(i).Offset, +Length) is read — other
+// chunks' bytes are never touched.
+func (a *ChunkArchive) ReadChunk(i int) (*codec.Video, []core.FramePartition, error) {
+	if i < 0 || i >= len(a.recs) {
+		return nil, nil, fmt.Errorf("store: chunk %d outside 0..%d", i, len(a.recs)-1)
+	}
+	rec := a.recs[i]
+	if _, err := a.r.Seek(rec.info.Offset, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("store: seeking chunk %d: %w", i, err)
+	}
+	precise := make([]byte, rec.preciseLen)
+	if _, err := io.ReadFull(a.r, precise); err != nil {
+		return nil, nil, fmt.Errorf("store: chunk %d precise region: %w", i, err)
+	}
+	pivots := make([]byte, rec.pivotLen)
+	if _, err := io.ReadFull(a.r, pivots); err != nil {
+		return nil, nil, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
+	}
+	v, err := codec.UnmarshalPrecise(precise)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: chunk %d precise region: %w", i, err)
+	}
+	parts, err := core.UnmarshalPartitions(pivots)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
+	}
+	if len(parts) != len(v.Frames) {
+		return nil, nil, fmt.Errorf("store: chunk %d: %d pivot tables for %d frames", i, len(parts), len(v.Frames))
+	}
+	ss := &core.StreamSet{Parts: parts, Streams: map[string][]byte{}, Bits: map[string]int64{}}
+	for _, sr := range rec.streams {
+		data := make([]byte, sr.bytes)
+		if _, err := io.ReadFull(a.r, data); err != nil {
+			return nil, nil, fmt.Errorf("store: chunk %d stream %q: %w", i, sr.name, err)
+		}
+		ss.Streams[sr.name] = data
+		ss.Bits[sr.name] = sr.bits
+	}
+	merged, err := ss.Merge(v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: chunk %d: %w", i, err)
+	}
+	return merged, parts, nil
+}
+
+// AppendChunkWriter reopens an existing container for appending: it indexes
+// the records already present, positions the stream at the end, and returns
+// a writer that continues where the last chunk stopped.
+func AppendChunkWriter(rw io.ReadWriteSeeker) (*ChunkWriter, error) {
+	a, err := OpenChunkArchive(rw)
+	if err != nil {
+		return nil, err
+	}
+	end := int64(25)
+	if n := len(a.recs); n > 0 {
+		last := a.recs[n-1].info
+		end = last.Offset + last.Length
+	}
+	if _, err := rw.Seek(end, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("store: seeking archive end: %w", err)
+	}
+	cw := &ChunkWriter{w: rw, meta: a.meta, off: end, frames: a.TotalFrames()}
+	for _, rec := range a.recs {
+		cw.chunks = append(cw.chunks, rec.info)
+	}
+	return cw, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}

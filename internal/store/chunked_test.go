@@ -1,0 +1,289 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/synth"
+)
+
+// buildChunkedVideo encodes a multi-GOP video and splits it at GOP
+// boundaries into chunk-local videos with their partitions, the form the
+// streaming pipeline hands to the archive writer.
+func buildChunkedVideo(t testing.TB, gops int) (*codec.Video, []*codec.Video, [][]core.FramePartition) {
+	t.Helper()
+	const gopSize = 4
+	cfg, _ := synth.PresetByName("crew_like")
+	seq := synth.Generate(cfg.ScaleTo(96, 64, gops*gopSize))
+	p := codec.DefaultParams()
+	p.GOPSize = gopSize
+	p.SearchRange = 8
+	v, err := codec.Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.Analyze(v, core.DefaultOptions())
+	parts := an.Partition(core.PaperAssignment())
+	var chunks []*codec.Video
+	var chunkParts [][]core.FramePartition
+	for s := 0; s < len(v.Frames); s += gopSize {
+		e := min(s+gopSize, len(v.Frames))
+		sub := &codec.Video{Params: p, W: v.W, H: v.H, FPS: v.FPS}
+		for _, f := range v.Frames[s:e] {
+			sub.Frames = append(sub.Frames, f)
+		}
+		sub = sub.Clone()
+		sub.ShiftIndices(-s)
+		chunks = append(chunks, sub)
+		chunkParts = append(chunkParts, parts[s:e])
+	}
+	return v, chunks, chunkParts
+}
+
+func writeChunks(t testing.TB, cw *ChunkWriter, chunks []*codec.Video, parts [][]core.FramePartition, firstFrame int) int {
+	t.Helper()
+	for i, c := range chunks {
+		if err := cw.Append(c, parts[i], firstFrame); err != nil {
+			t.Fatal(err)
+		}
+		firstFrame += len(c.Frames)
+	}
+	return firstFrame
+}
+
+func TestChunkArchiveRoundTrip(t *testing.T) {
+	v, chunks, chunkParts := buildChunkedVideo(t, 3)
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeChunks(t, cw, chunks, chunkParts, 0)
+
+	a, err := OpenChunkArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChunks() != len(chunks) {
+		t.Fatalf("%d chunks, want %d", a.NumChunks(), len(chunks))
+	}
+	if a.TotalFrames() != len(v.Frames) {
+		t.Fatalf("%d frames, want %d", a.TotalFrames(), len(v.Frames))
+	}
+	if a.Meta() != cw.Meta() {
+		t.Fatalf("meta mismatch: %+v vs %+v", a.Meta(), cw.Meta())
+	}
+	base := 0
+	for i, want := range chunks {
+		got, parts, err := a.ReadChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Frames) != len(want.Frames) || len(parts) != len(want.Frames) {
+			t.Fatalf("chunk %d: %d frames, %d parts, want %d", i, len(got.Frames), len(parts), len(want.Frames))
+		}
+		for f := range want.Frames {
+			if !bytes.Equal(got.Frames[f].Payload, want.Frames[f].Payload) {
+				t.Fatalf("chunk %d frame %d: payload differs", i, f)
+			}
+		}
+		// The chunk must decode on its own, pixel-identical to the same
+		// frames decoded as part of the whole video.
+		whole, err := codec.Decode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.Decode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range dec.Frames {
+			if !bytes.Equal(dec.Frames[f].Y, whole.Frames[base+f].Y) {
+				t.Fatalf("chunk %d frame %d: decode differs from whole video", i, f)
+			}
+		}
+		base += len(want.Frames)
+	}
+}
+
+// trackingReader records every byte range read from the underlying reader.
+type trackingReader struct {
+	r     *bytes.Reader
+	pos   int64
+	reads [][2]int64
+}
+
+func (tr *trackingReader) Read(p []byte) (int, error) {
+	n, err := tr.r.Read(p)
+	if n > 0 {
+		tr.reads = append(tr.reads, [2]int64{tr.pos, tr.pos + int64(n)})
+		tr.pos += int64(n)
+	}
+	return n, err
+}
+
+func (tr *trackingReader) Seek(off int64, whence int) (int64, error) {
+	p, err := tr.r.Seek(off, whence)
+	tr.pos = p
+	return p, err
+}
+
+// TestReadChunkTouchesOnlyItsPayload pins the random-access guarantee:
+// indexing the archive reads headers only, and reading chunk i reads bytes
+// exclusively inside chunk i's payload range.
+func TestReadChunkTouchesOnlyItsPayload(t *testing.T) {
+	v, chunks, chunkParts := buildChunkedVideo(t, 3)
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeChunks(t, cw, chunks, chunkParts, 0)
+
+	tr := &trackingReader{r: bytes.NewReader(buf.Bytes())}
+	a, err := OpenChunkArchive(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) (int64, int64) {
+		info, err := a.Info(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Offset, info.Offset + info.Length
+	}
+	// Open must not have read inside any chunk's payload.
+	for i := 0; i < a.NumChunks(); i++ {
+		lo, hi := payload(i)
+		for _, rd := range tr.reads {
+			if rd[0] < hi && rd[1] > lo {
+				t.Fatalf("Open read [%d,%d) inside chunk %d payload [%d,%d)", rd[0], rd[1], i, lo, hi)
+			}
+		}
+	}
+	// ReadChunk(1) must stay inside chunk 1's payload range.
+	tr.reads = nil
+	if _, _, err := a.ReadChunk(1); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := payload(1)
+	for _, rd := range tr.reads {
+		if rd[0] < lo || rd[1] > hi {
+			t.Fatalf("ReadChunk(1) read [%d,%d) outside its payload [%d,%d)", rd[0], rd[1], lo, hi)
+		}
+	}
+	if len(tr.reads) == 0 {
+		t.Fatal("ReadChunk read nothing")
+	}
+}
+
+// TestAppendChunkWriter exercises append-on-write: reopening an archive file
+// and appending more chunks must leave earlier chunks untouched and index
+// the new ones.
+func TestAppendChunkWriter(t *testing.T) {
+	v, chunks, chunkParts := buildChunkedVideo(t, 3)
+	path := filepath.Join(t.TempDir(), "archive.vacs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewChunkWriter(f, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := writeChunks(t, cw, chunks[:2], chunkParts[:2], 0)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rw, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := AppendChunkWriter(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aw.Frames() != next {
+		t.Fatalf("append writer resumes at frame %d, want %d", aw.Frames(), next)
+	}
+	writeChunks(t, aw, chunks[2:], chunkParts[2:], next)
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenChunkArchive(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChunks() != 3 || a.TotalFrames() != len(v.Frames) {
+		t.Fatalf("after append: %d chunks, %d frames", a.NumChunks(), a.TotalFrames())
+	}
+	for i, want := range chunks {
+		got, _, err := a.ReadChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range want.Frames {
+			if !bytes.Equal(got.Frames[f].Payload, want.Frames[f].Payload) {
+				t.Fatalf("chunk %d frame %d differs after append", i, f)
+			}
+		}
+	}
+}
+
+func TestChunkWriterRejectsOutOfOrder(t *testing.T) {
+	v, chunks, chunkParts := buildChunkedVideo(t, 2)
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Append(chunks[1], chunkParts[1], 7); err == nil {
+		t.Fatal("out-of-order chunk must be rejected")
+	}
+}
+
+func TestOpenChunkArchiveRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01aaaaaaaaaaaaaaaaaaaa"),
+		"truncated": []byte("VACS"),
+	}
+	for name, data := range cases {
+		if _, err := OpenChunkArchive(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: must be rejected", name)
+		}
+	}
+	// A valid header followed by a corrupt chunk marker must fail cleanly.
+	v, chunks, chunkParts := buildChunkedVideo(t, 2)
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeChunks(t, cw, chunks, chunkParts, 0)
+	data := buf.Bytes()
+	a, err := OpenChunkArchive(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second record's marker starts right after the first chunk's
+	// payload; corrupting it must fail indexing cleanly.
+	first, err := a.Info(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[first.Offset+first.Length] ^= 0xFF
+	if _, err := OpenChunkArchive(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt chunk marker must be rejected")
+	}
+}

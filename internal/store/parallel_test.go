@@ -66,10 +66,11 @@ func TestStoreContextDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchStoreContext pins the compatibility contract of
-// the thin wrappers: Store, StoreSeeded and StoreSeededContext must behave
-// exactly like StoreContext with the corresponding StoreOpts.
-func TestDeprecatedWrappersMatchStoreContext(t *testing.T) {
+// TestStoreContextFrameOffset pins the chunked-store contract: storing a
+// tail slice of the video with FrameOffset set to its global first-frame
+// index injects exactly the errors the full-video round trip injects into
+// those frames.
+func TestStoreContextFrameOffset(t *testing.T) {
 	v, _, parts, _ := buildVideo(t)
 	s := variableSystem(t)
 	ctx := context.Background()
@@ -78,40 +79,37 @@ func TestDeprecatedWrappersMatchStoreContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, call := range map[string]func() (*codec.Video, int, error){
-		"StoreSeeded":        func() (*codec.Video, int, error) { return s.StoreSeeded(v, parts, 42, 4) },
-		"StoreSeededContext": func() (*codec.Video, int, error) { return s.StoreSeededContext(ctx, v, parts, 42, 4) },
-	} {
-		got, flips, err := call()
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if flips != refFlips {
-			t.Fatalf("%s: %d flips, want %d", name, flips, refFlips)
-		}
-		for f := range ref.Frames {
-			if !bytes.Equal(ref.Frames[f].Payload, got.Frames[f].Payload) {
-				t.Fatalf("%s: frame %d payload differs from StoreContext", name, f)
-			}
-		}
+	if len(v.Frames) < 3 {
+		t.Fatalf("need >= 3 frames, have %d", len(v.Frames))
 	}
-
-	// The rng wrapper draws the same serial stream as StoreOpts{Rng}.
-	rngRef, rngFlips, err := s.StoreContext(ctx, v, parts, StoreOpts{Rng: rand.New(rand.NewSource(7))})
+	cut := len(v.Frames) / 2
+	sub := &codec.Video{Params: v.Params, W: v.W, H: v.H, FPS: v.FPS, Frames: v.Frames[cut:]}
+	got, flips, err := s.StoreContext(ctx, sub, parts[cut:], StoreOpts{Seed: 42, Workers: 4, FrameOffset: cut})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, flips, err := s.Store(v, parts, rand.New(rand.NewSource(7)))
+	for f := range got.Frames {
+		if !bytes.Equal(ref.Frames[cut+f].Payload, got.Frames[f].Payload) {
+			t.Fatalf("frame %d payload differs from batch round trip", cut+f)
+		}
+	}
+	if flips > refFlips {
+		t.Fatalf("tail flips %d exceed total %d", flips, refFlips)
+	}
+	// The head slice with offset 0 injects the remaining flips, so the two
+	// chunked halves reproduce the batch round trip exactly.
+	head := &codec.Video{Params: v.Params, W: v.W, H: v.H, FPS: v.FPS, Frames: v.Frames[:cut]}
+	gotHead, headFlips, err := s.StoreContext(ctx, head, parts[:cut], StoreOpts{Seed: 42, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if flips != rngFlips {
-		t.Fatalf("Store: %d flips, want %d", flips, rngFlips)
-	}
-	for f := range rngRef.Frames {
-		if !bytes.Equal(rngRef.Frames[f].Payload, got.Frames[f].Payload) {
-			t.Fatalf("Store: frame %d payload differs from StoreContext{Rng}", f)
+	for f := range gotHead.Frames {
+		if !bytes.Equal(ref.Frames[f].Payload, gotHead.Frames[f].Payload) {
+			t.Fatalf("head frame %d payload differs from batch round trip", f)
 		}
+	}
+	if headFlips+flips != refFlips {
+		t.Fatalf("chunked flips %d+%d != batch %d", headFlips, flips, refFlips)
 	}
 }
 

@@ -8,8 +8,11 @@
 // uniform correction (everything BCH-16), variable correction (Table 1) and
 // ideal correction (error-free, overhead-free).
 //
-// StoreContext is the single round-trip entry point; Store, StoreSeeded and
-// StoreSeededContext survive as thin deprecated wrappers over it.
+// StoreContext is the single round-trip entry point. For chunked streaming,
+// FrameCosts/StatsFromCosts expose the footprint accounting at per-frame
+// granularity so per-chunk accumulation reduces to exactly the batch totals,
+// and StoreOpts.FrameOffset rebases the per-frame error streams so a chunk
+// stored on its own draws the same bits it would inside the whole video.
 package store
 
 import (
@@ -120,14 +123,16 @@ type Stats struct {
 	PerScheme map[string]int64
 }
 
-// frameCost is one frame's contribution to the footprint, computed
+// FrameCost is one frame's contribution to the footprint, computed
 // independently per frame and merged in frame order so the totals are
-// identical at every worker count.
-type frameCost struct {
-	payloadBits int64
-	cells       float64
-	parity      float64
-	perScheme   map[string]int64
+// identical at every worker count. The chunked pipeline accumulates
+// FrameCost slices chunk by chunk and reduces them once with
+// StatsFromCosts, reproducing the batch Stats bit for bit.
+type FrameCost struct {
+	PayloadBits int64
+	Cells       float64
+	Parity      float64
+	PerScheme   map[string]int64
 }
 
 // Footprint computes the storage cost of a partitioned video, including the
@@ -136,46 +141,56 @@ func (s *System) Footprint(v *codec.Video, parts []core.FramePartition, pixels i
 	return s.FootprintContext(context.Background(), v, parts, pixels, 1)
 }
 
-// FootprintContext is Footprint with per-frame fan-out across workers and
-// cooperative cancellation. Per-frame costs are accumulated independently
-// and reduced in frame order, so the result is identical for every worker
-// count. An observer attached to ctx (obs.With) receives the footprint
-// stage span, per-frame progress, per-scheme payload-bit counters and the
-// cell-density gauges.
-func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, pixels int64, workers int) (Stats, error) {
+// FrameCosts computes each frame's independent footprint contribution with
+// per-frame fan-out across workers and cooperative cancellation. An observer
+// attached to ctx (obs.With) receives the footprint stage span and per-frame
+// progress; the aggregate counters and gauges are published by whoever runs
+// the final reduction (FootprintContext, or the streaming accumulator via
+// PublishFootprint).
+func (s *System) FrameCosts(ctx context.Context, v *codec.Video, parts []core.FramePartition, workers int) ([]FrameCost, error) {
 	if len(parts) != len(v.Frames) {
-		return Stats{}, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
+		return nil, fmt.Errorf("store: %w: %d partitions for %d frames", ErrPartitionMismatch, len(parts), len(v.Frames))
 	}
 	o := obs.From(ctx)
 	defer obs.StartSpan(o, obs.StageFootprint).End()
-	costs := make([]frameCost, len(v.Frames))
+	costs := make([]FrameCost, len(v.Frames))
 	err := par.ForEachLabeled(ctx, len(v.Frames), workers, obs.StageFootprint, "", func(f int) error {
 		ef := v.Frames[f]
-		fc := frameCost{perScheme: map[string]int64{}}
+		fc := FrameCost{PerScheme: map[string]int64{}}
 		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
-			fc.payloadBits += seg.Bits
-			fc.perScheme[seg.Scheme.Name] += seg.Bits
-			fc.cells += s.cfg.Substrate.CellsForBits(seg.Bits, seg.Scheme.Overhead())
-			fc.parity += float64(seg.Bits) * seg.Scheme.Overhead()
+			fc.PayloadBits += seg.Bits
+			fc.PerScheme[seg.Scheme.Name] += seg.Bits
+			fc.Cells += s.cfg.Substrate.CellsForBits(seg.Bits, seg.Scheme.Overhead())
+			fc.Parity += float64(seg.Bits) * seg.Scheme.Overhead()
 		}
 		costs[f] = fc
 		o.FrameDone(obs.StageFootprint, 1)
 		return nil
 	})
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
+	return costs, nil
+}
+
+// StatsFromCosts reduces per-frame costs to the video's Stats. The reduction
+// runs in slice order with the same accumulation sequence as the serial
+// batch path, so feeding it the concatenation of per-chunk FrameCosts slices
+// yields floats bit-identical to one batch FootprintContext call.
+// headerBits is the total precise region (frame headers + pivot tables);
+// pixels scales the density metric (0 leaves CellsPerPixel zero).
+func (s *System) StatsFromCosts(costs []FrameCost, headerBits, pixels int64) Stats {
 	st := Stats{PerScheme: map[string]int64{}}
 	var cells, parity float64
 	for _, fc := range costs {
-		st.PayloadBits += fc.payloadBits
-		cells += fc.cells
-		parity += fc.parity
-		for name, bits := range fc.perScheme {
+		st.PayloadBits += fc.PayloadBits
+		cells += fc.Cells
+		parity += fc.Parity
+		for name, bits := range fc.PerScheme {
 			st.PerScheme[name] += bits
 		}
 	}
-	st.HeaderBits = v.HeaderBits() + core.PivotOverheadBits(parts)
+	st.HeaderBits = headerBits
 	headerScheme := s.cfg.Assignment.Header
 	cells += s.cfg.Substrate.CellsForBits(st.HeaderBits, headerScheme.Overhead())
 	parity += float64(st.HeaderBits) * headerScheme.Overhead()
@@ -188,12 +203,35 @@ func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []c
 	if total > 0 {
 		st.ECCOverhead = parity / total
 	}
+	return st
+}
+
+// PublishFootprint reports the aggregate footprint counters and gauges of a
+// reduced Stats to an observer, exactly as FootprintContext does for the
+// batch path. The streaming pipeline calls it once after its final
+// StatsFromCosts reduction so metrics reconcile with the batch run.
+func PublishFootprint(o obs.Observer, st Stats) {
 	for name, bits := range st.PerScheme {
 		o.Counter(obs.CtrPayloadBits, name, bits)
 	}
 	o.Counter(obs.CtrHeaderBits, "", st.HeaderBits)
 	o.Gauge(obs.GaugeCells, "", st.Cells)
 	o.Gauge(obs.GaugeCellsPerPixel, "", st.CellsPerPixel)
+}
+
+// FootprintContext is Footprint with per-frame fan-out across workers and
+// cooperative cancellation. Per-frame costs are accumulated independently
+// and reduced in frame order, so the result is identical for every worker
+// count. An observer attached to ctx (obs.With) receives the footprint
+// stage span, per-frame progress, per-scheme payload-bit counters and the
+// cell-density gauges.
+func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, pixels int64, workers int) (Stats, error) {
+	costs, err := s.FrameCosts(ctx, v, parts, workers)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := s.StatsFromCosts(costs, v.HeaderBits()+core.PivotOverheadBits(parts), pixels)
+	PublishFootprint(obs.From(ctx), st)
 	return st, nil
 }
 
@@ -201,10 +239,17 @@ func (s *System) FootprintContext(ctx context.Context, v *codec.Video, parts []c
 type StoreOpts struct {
 	// Seed selects the deterministic per-frame error streams: every frame
 	// draws from its own RNG seeded by a SplitMix64 finalizer over (Seed,
-	// frame), so the stored bits and flip count are a pure function of
-	// (video, parts, Seed) — never of Workers or the goroutine schedule.
-	// Ignored when Rng is set.
+	// FrameOffset + frame), so the stored bits and flip count are a pure
+	// function of (video, parts, Seed, FrameOffset) — never of Workers or
+	// the goroutine schedule. Ignored when Rng is set.
 	Seed int64
+	// FrameOffset rebases the per-frame error streams: frame f of v draws
+	// the stream of global frame FrameOffset+f. A chunk of a longer video
+	// stored with its global first-frame position here receives exactly
+	// the error pattern the full-video round trip would inject into those
+	// frames, which is what makes single-GOP round trips from a chunked
+	// archive bit-identical to the batch path. Ignored when Rng is set.
+	FrameOffset int
 	// Workers bounds the per-frame fan-out; <= 0 selects GOMAXPROCS.
 	// Forced to 1 when Rng is set.
 	Workers int
@@ -253,7 +298,7 @@ func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.
 	}
 	flips := make([]int, len(out.Frames))
 	err := par.ForEachLabeled(ctx, len(out.Frames), o.Workers, obs.StageInject, "", func(f int) error {
-		rng := rand.New(rand.NewSource(frameSeed(o.Seed, f)))
+		rng := rand.New(rand.NewSource(frameSeed(o.Seed, o.FrameOffset+f)))
 		flips[f] = s.injectFrame(rng, out.Frames[f], parts[f], ob)
 		ob.FrameDone(obs.StageInject, 1)
 		return nil
@@ -266,31 +311,6 @@ func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.
 		total += n
 	}
 	return out, total, nil
-}
-
-// Store simulates one round trip drawing from the caller's serial RNG
-// stream.
-//
-// Deprecated: use StoreContext with StoreOpts{Rng: rng}. Retained as a thin
-// wrapper for existing callers.
-func (s *System) Store(v *codec.Video, parts []core.FramePartition, rng *rand.Rand) (*codec.Video, int, error) {
-	return s.StoreContext(context.Background(), v, parts, StoreOpts{Rng: rng})
-}
-
-// StoreSeeded is the deterministic parallel round trip.
-//
-// Deprecated: use StoreContext with StoreOpts{Seed: seed, Workers:
-// workers}. Retained as a thin wrapper for existing callers.
-func (s *System) StoreSeeded(v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
-	return s.StoreContext(context.Background(), v, parts, StoreOpts{Seed: seed, Workers: workers})
-}
-
-// StoreSeededContext is StoreSeeded with cooperative cancellation.
-//
-// Deprecated: use StoreContext with StoreOpts{Seed: seed, Workers:
-// workers}. Retained as a thin wrapper for existing callers.
-func (s *System) StoreSeededContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, seed int64, workers int) (*codec.Video, int, error) {
-	return s.StoreContext(ctx, v, parts, StoreOpts{Seed: seed, Workers: workers})
 }
 
 // injectFrame applies the configured error model to one frame's payload,

@@ -1,0 +1,199 @@
+package videoapp
+
+// Streaming API: the chunked, bounded-memory form of the pipeline and its
+// random-access archive. See the internal/chunk package documentation for
+// the dataflow and the bit-identity argument; the entry points here are
+// Pipeline.ProcessStream (batch-identical Result from a stream),
+// Pipeline.StreamToArchive (bounded-memory write of a chunked archive) and
+// OpenArchive/ReadChunk (random access to a single stored chunk).
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"videoapp/internal/chunk"
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/obs"
+	"videoapp/internal/store"
+)
+
+type (
+	// ChunkSource yields raw frames incrementally to the streaming
+	// pipeline; see SequenceSource and Y4MSource.
+	ChunkSource = chunk.Source
+	// ProcessedChunk is one fully processed closed-GOP chunk.
+	ProcessedChunk = chunk.Processed
+	// ArchiveMeta is the stream-wide header of a chunked archive.
+	ArchiveMeta = store.ArchiveMeta
+	// ChunkInfo locates one chunk inside a chunked archive.
+	ChunkInfo = store.ChunkInfo
+	// ChunkWriter appends processed chunks to a chunked archive.
+	ChunkWriter = store.ChunkWriter
+	// ChunkArchive is a random-access reader over a chunked archive.
+	ChunkArchive = store.ChunkArchive
+)
+
+// SequenceSource adapts an in-memory sequence to a ChunkSource. It does not
+// reduce memory by itself but runs the same chunked dataflow as a streamed
+// input, which is what the bit-identity tests exercise.
+func SequenceSource(seq *Sequence) ChunkSource { return chunk.FromSequence(seq) }
+
+// Y4MSource wraps a YUV4MPEG2 stream as a ChunkSource. Frames are decoded
+// on demand, so processing an arbitrarily long file holds only the chunks
+// currently in flight.
+func Y4MSource(r io.Reader, name string) (ChunkSource, error) { return chunk.FromY4M(r, name) }
+
+// OpenArchive indexes a chunked archive for random access. Only the
+// stream header and the fixed-size per-chunk records are read — every
+// chunk's payload is skipped with a seek, so opening a large archive is
+// O(chunks), not O(bytes).
+func OpenArchive(r io.ReadSeeker) (*ChunkArchive, error) { return store.OpenChunkArchive(r) }
+
+// AppendArchive reopens an existing chunked archive for appending more
+// chunks (append-on-write: earlier bytes are never rewritten).
+func AppendArchive(rw io.ReadWriteSeeker) (*ChunkWriter, error) { return store.AppendChunkWriter(rw) }
+
+// chunkConfig assembles the streaming engine configuration from the
+// pipeline, attaching sys for per-chunk footprint costs.
+func (p *Pipeline) chunkConfig(sys *store.System) chunk.Config {
+	return chunk.Config{
+		Params:       p.Params,
+		Assignment:   p.Assignment,
+		System:       sys,
+		GOPsPerChunk: p.ChunkGOPs,
+		Workers:      p.Workers,
+	}
+}
+
+// ProcessStream is Process over an incrementally fed source: the stream is
+// segmented into closed-GOP chunks (WithChunkGOPs) and encode → analyze →
+// partition → footprint run per chunk as a staged dataflow with
+// backpressure, so raw frames never accumulate beyond a few chunks. The
+// accumulated Result — encoded bits, analysis, partitions, footprint stats
+// — is bit-identical to ProcessContext on the same frames at every chunk
+// size and worker count, and supports the same round trips.
+//
+// Note that the Result itself holds the whole encoded video (that is what
+// a Result is); for end-to-end bounded memory use StreamToArchive, which
+// writes chunks out as they complete.
+func (p *Pipeline) ProcessStream(ctx context.Context, src ChunkSource) (*Result, error) {
+	o := p.observer()
+	ctx = obs.With(ctx, o)
+	sys, err := p.system()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		v         *Video
+		parts     []FramePartition
+		imp, comp [][]float64
+		costs     []store.FrameCost
+		pixels    int64
+	)
+	err = chunk.Run(ctx, p.chunkConfig(sys), src, func(c *ProcessedChunk) error {
+		if v == nil {
+			v = &codec.Video{Params: c.Video.Params, W: c.Video.W, H: c.Video.H, FPS: c.Video.FPS}
+		}
+		// Rebase the chunk-local frame indices and partition rows into the
+		// whole-video index space, then append in stream order.
+		c.Video.ShiftIndices(c.FirstFrame)
+		v.Frames = append(v.Frames, c.Video.Frames...)
+		for i := range c.Parts {
+			c.Parts[i].Frame += c.FirstFrame
+		}
+		parts = append(parts, c.Parts...)
+		imp = append(imp, c.Importance...)
+		comp = append(comp, c.CompImportance...)
+		costs = append(costs, c.Costs...)
+		pixels += c.Pixels
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Header bits are recomputed on the stitched video: frame indices are
+	// exp-Golomb coded, so global-index headers can be larger than the sum
+	// of chunk-local ones, and batch identity requires the global form.
+	stats := sys.StatsFromCosts(costs, v.HeaderBits()+core.PivotOverheadBits(parts), pixels)
+	store.PublishFootprint(o, stats)
+	an := &core.Analysis{Video: v, Importance: imp, CompImportance: comp}
+	return &Result{
+		Video: v, Analysis: an, Partitions: parts, Stats: stats,
+		pipeline: p, system: sys, pixels: pixels,
+	}, nil
+}
+
+// StreamToArchive processes src chunk by chunk and appends each chunk to w
+// as a chunked archive, keeping memory bounded by the chunk size for
+// arbitrarily long streams: no stage retains a chunk after handing it
+// downstream, and the archive accumulates on w, not in memory. It returns
+// the archive layout and the aggregate storage footprint (header bits
+// accounted in the archive's chunk-local form).
+func (p *Pipeline) StreamToArchive(ctx context.Context, src ChunkSource, w io.Writer) (ArchiveMeta, StorageStats, error) {
+	o := p.observer()
+	ctx = obs.With(ctx, o)
+	sys, err := p.system()
+	if err != nil {
+		return ArchiveMeta{}, StorageStats{}, err
+	}
+	var (
+		cw         *ChunkWriter
+		meta       ArchiveMeta
+		costs      []store.FrameCost
+		headerBits int64
+		pixels     int64
+	)
+	gops := p.ChunkGOPs
+	if gops < 1 {
+		gops = 1
+	}
+	err = chunk.Run(ctx, p.chunkConfig(sys), src, func(c *ProcessedChunk) error {
+		if cw == nil {
+			meta = ArchiveMeta{W: c.Video.W, H: c.Video.H, FPS: c.Video.FPS, GOPSize: p.Params.GOPSize, GOPsPerChunk: gops}
+			var err error
+			if cw, err = store.NewChunkWriter(w, meta); err != nil {
+				return err
+			}
+		}
+		if err := cw.Append(c.Video, c.Parts, c.FirstFrame); err != nil {
+			return err
+		}
+		costs = append(costs, c.Costs...)
+		headerBits += c.HeaderBits
+		pixels += c.Pixels
+		return nil
+	})
+	if err != nil {
+		return ArchiveMeta{}, StorageStats{}, err
+	}
+	stats := sys.StatsFromCosts(costs, headerBits, pixels)
+	store.PublishFootprint(o, stats)
+	return meta, stats, nil
+}
+
+// RoundTripChunk simulates the approximate storage round trip of a single
+// archived chunk — typically one ReadChunk result — and decodes it without
+// touching the rest of the archive. firstFrame is the chunk's position in
+// the whole video (ChunkInfo.FirstFrame): the injected error streams are
+// drawn per global frame, so the decoded frames are bit-identical to the
+// same frames of a whole-video StoreRoundTrip with the same seed.
+func (p *Pipeline) RoundTripChunk(ctx context.Context, v *Video, parts []FramePartition, firstFrame int, seed int64) (*Sequence, int, error) {
+	if firstFrame < 0 {
+		return nil, 0, fmt.Errorf("videoapp: negative first frame %d", firstFrame)
+	}
+	sys, err := p.system()
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx = obs.With(ctx, p.observer())
+	stored, flips, err := sys.StoreContext(ctx, v, parts, store.StoreOpts{
+		Seed: seed, FrameOffset: firstFrame, Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, err := codec.DecodeContext(ctx, stored, codec.DecodeOptions{}, p.Workers)
+	return seq, flips, err
+}

@@ -298,6 +298,10 @@ type Pipeline struct {
 	// Observer receives instrumentation from every pipeline stage. nil
 	// (the default) publishes nothing; observers never perturb results.
 	Observer Observer
+	// ChunkGOPs is the streaming chunk granularity in closed GOPs used by
+	// ProcessStream and StreamToArchive; <= 0 (the default) selects 1.
+	// Results are bit-identical at every granularity.
+	ChunkGOPs int
 
 	// metrics is the aggregator installed by WithMetrics, kept separate
 	// from Observer so Result.Metrics can snapshot it.
@@ -332,6 +336,12 @@ func WithSeed(seed int64) Option { return func(pl *Pipeline) { pl.Seed = seed } 
 // Params.Entropy of the configuration in effect when the option is applied;
 // order it after WithParams.
 func WithEntropyCoder(k EntropyCoder) Option { return func(pl *Pipeline) { pl.Params.Entropy = k } }
+
+// WithChunkGOPs sets the streaming chunk granularity in closed GOPs
+// (ProcessStream, StreamToArchive); n <= 0 selects 1. Larger chunks
+// amortize stage hand-off at the cost of higher peak memory and coarser
+// archive random-access units; results are identical at every granularity.
+func WithChunkGOPs(n int) Option { return func(pl *Pipeline) { pl.ChunkGOPs = n } }
 
 // WithObserver attaches an observer to every pipeline stage. Combine
 // several with MultiObserver; a Metrics attached via WithMetrics is fanned
