@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race bench-parallel bench-stream fmt vet
+.PHONY: check build test race bench bench-smoke bench-parallel bench-stream fmt vet
 
-# check is the full verification gate: vet, build, race-enabled tests.
-# Tests run shuffled so inter-test ordering dependencies cannot hide.
-check: vet build race
+# check is the full verification gate: vet, build, race-enabled tests, and a
+# one-iteration compile-and-run pass over every benchmark so the perf harness
+# cannot rot. Tests run shuffled so inter-test ordering dependencies cannot
+# hide.
+check: vet build race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,3 +36,22 @@ bench-parallel:
 # peak memory must stay flat as the input grows (results/stream_bench.md).
 bench-stream:
 	$(GO) test -run='^$$' -bench=BenchmarkStreamMemory -benchtime=1x .
+
+# bench runs the measured hot-kernel benchmarks (SAD/motion search, error
+# injection, clone/pooling, arithmetic coder) plus the pipeline-level
+# parallel benches, with allocation reporting. Compare two runs with
+# scripts/benchcmp.sh old.txt new.txt (results/kernel_bench.md holds the
+# committed before/after of the optimization pass).
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkSAD|BenchmarkSADEdge|BenchmarkMotionSearch' -benchmem ./internal/predict
+	$(GO) test -run='^$$' -bench='BenchmarkInject' -benchmem ./internal/store
+	$(GO) test -run='^$$' -bench='BenchmarkClone' -benchmem ./internal/codec
+	$(GO) test -run='^$$' -bench='BenchmarkArith' -benchmem ./internal/entropy
+	$(GO) test -run='^$$' -bench='BenchmarkFlipIID' -benchmem ./internal/sim
+	$(GO) test -run='^$$' -bench='BenchmarkParallelStore|BenchmarkParallelPipeline' -benchmem .
+
+# bench-smoke compiles and runs every benchmark in the repo exactly once —
+# a regression gate for the perf harness itself, cheap enough for check/CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/predict ./internal/store ./internal/codec ./internal/entropy ./internal/sim
+	$(GO) test -run='^$$' -bench='BenchmarkParallel|BenchmarkPipeline' -benchtime=1x .

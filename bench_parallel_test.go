@@ -54,6 +54,7 @@ func BenchmarkParallelEncode(b *testing.B) {
 	p := benchParams()
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := EncodeContext(context.Background(), seq, p, w); err != nil {
 					b.Fatal(err)
@@ -71,6 +72,7 @@ func BenchmarkParallelDecode(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := DecodeContext(context.Background(), v, w); err != nil {
 					b.Fatal(err)
@@ -88,6 +90,7 @@ func BenchmarkParallelAnalyze(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.AnalyzeContext(context.Background(), v, core.DefaultOptions(), w); err != nil {
 					b.Fatal(err)
@@ -111,10 +114,13 @@ func BenchmarkParallelStore(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := sys.StoreContext(context.Background(), v, parts, store.StoreOpts{Seed: int64(i), Workers: w}); err != nil {
+				out, _, err := sys.StoreContext(context.Background(), v, parts, store.StoreOpts{Seed: int64(i), Workers: w})
+				if err != nil {
 					b.Fatal(err)
 				}
+				out.Release()
 			}
 		})
 	}
@@ -132,6 +138,7 @@ func BenchmarkParallelMeasure(b *testing.B) {
 	}
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := quality.MeasureContext(context.Background(), seq, dec, w); err != nil {
 					b.Fatal(err)
@@ -147,6 +154,7 @@ func BenchmarkParallelPipeline(b *testing.B) {
 	seq := benchSequence(b, 24)
 	for _, w := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			p := NewPipeline(WithParams(benchParams()), WithWorkers(w))
 			for i := 0; i < b.N; i++ {
 				res, err := p.Process(seq)

@@ -24,6 +24,7 @@ import (
 //
 //	make bench-stream
 func BenchmarkStreamMemory(b *testing.B) {
+	b.ReportAllocs()
 	const baseFrames = 48 // 12 closed GOPs at GOPSize 4
 	params := DefaultParams()
 	params.GOPSize = 4

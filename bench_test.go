@@ -25,6 +25,7 @@ func benchConfig() experiments.Config {
 
 // BenchmarkFigure3 regenerates the single-bit-flip MB-position PSNR surface.
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -39,6 +40,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 // BenchmarkFigure8 regenerates the BCH overhead/capability table.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Figure8()
 		b.ReportMetric(res.Rows[0].OverheadPct, "pct-bch6-overhead")
@@ -47,6 +49,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 // BenchmarkFigure9 regenerates the 16-bin importance validation curves.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -60,6 +63,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the cumulative importance-class curves.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -74,6 +78,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkTable1 regenerates the error-correction assignment from measured
 // Figure 10 data.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -89,6 +94,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure11 regenerates the density/quality sweep for the three
 // storage designs.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -103,6 +109,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkEncryptionModes regenerates the §5 mode compatibility table.
 func BenchmarkEncryptionModes(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.EncryptionModes(int64(i))
 		if err != nil {
@@ -120,6 +127,7 @@ func BenchmarkEncryptionModes(b *testing.B) {
 
 // BenchmarkAblation regenerates the §8 encoder-option sweep.
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -133,6 +141,7 @@ func BenchmarkAblation(b *testing.B) {
 
 // BenchmarkScrubSweep regenerates the scrubbing-interval extension sweep.
 func BenchmarkScrubSweep(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Presets = []string{"crew_like"}
 	for i := 0; i < b.N; i++ {
@@ -147,6 +156,7 @@ func BenchmarkScrubSweep(b *testing.B) {
 // BenchmarkAnalysisOverhead measures §4.3.1: the VideoApp analysis cost
 // relative to encoding.
 func BenchmarkAnalysisOverhead(b *testing.B) {
+	b.ReportAllocs()
 	cfg, _ := synth.PresetByName("crew_like")
 	seq := synth.Generate(cfg.ScaleTo(176, 144, 20))
 	params := codec.DefaultParams()
@@ -171,6 +181,7 @@ func BenchmarkAnalysisOverhead(b *testing.B) {
 
 // BenchmarkPipeline measures the end-to-end public API workflow.
 func BenchmarkPipeline(b *testing.B) {
+	b.ReportAllocs()
 	seq, err := GenerateTestVideo("crew_like", 96, 64, 10)
 	if err != nil {
 		b.Fatal(err)

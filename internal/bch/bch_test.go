@@ -232,6 +232,7 @@ func TestSchemesOrderedByStrength(t *testing.T) {
 }
 
 func BenchmarkEncode512(b *testing.B) {
+	b.ReportAllocs()
 	c := MustNew(6, BlockDataBits)
 	rng := rand.New(rand.NewSource(3))
 	data := randBits(rng, BlockDataBits)
@@ -242,6 +243,7 @@ func BenchmarkEncode512(b *testing.B) {
 }
 
 func BenchmarkDecode512With3Errors(b *testing.B) {
+	b.ReportAllocs()
 	c := MustNew(6, BlockDataBits)
 	rng := rand.New(rand.NewSource(3))
 	data := randBits(rng, BlockDataBits)

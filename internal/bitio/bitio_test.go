@@ -260,6 +260,7 @@ func TestReaderSeek(t *testing.T) {
 }
 
 func BenchmarkWriteBits(b *testing.B) {
+	b.ReportAllocs()
 	w := NewWriter()
 	for i := 0; i < b.N; i++ {
 		if i%1000 == 0 {
@@ -270,6 +271,7 @@ func BenchmarkWriteBits(b *testing.B) {
 }
 
 func BenchmarkReadUE(b *testing.B) {
+	b.ReportAllocs()
 	w := NewWriter()
 	for i := 0; i < 1000; i++ {
 		w.WriteUE(uint32(i % 512))

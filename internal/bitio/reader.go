@@ -28,16 +28,31 @@ func (r *Reader) ReadBit() (int, error) {
 }
 
 // ReadBits returns the next n bits as the low bits of a uint64, MSB-first.
-// n must be in [0, 64].
+// n must be in [0, 64]. When fewer than n bits remain the reader consumes
+// them all and returns ErrOutOfBits, exactly as the bit-at-a-time loop did.
+// The read proceeds a byte at a time, so wide reads cost n/8 extractions.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		v = v<<1 | uint64(b)
+	if n == 0 {
+		return 0, nil
 	}
+	if int64(n) > r.Remaining() {
+		r.pos = int64(len(r.buf)) * 8
+		return 0, ErrOutOfBits
+	}
+	var v uint64
+	pos, left := r.pos, n
+	for left > 0 {
+		avail := 8 - uint(pos&7)
+		take := avail
+		if take > left {
+			take = left
+		}
+		chunk := uint64(r.buf[pos>>3]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		pos += int64(take)
+		left -= take
+	}
+	r.pos = pos
 	return v, nil
 }
 

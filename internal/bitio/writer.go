@@ -32,10 +32,36 @@ func (w *Writer) WriteBit(bit int) {
 }
 
 // WriteBits appends the n least-significant bits of v, most significant
-// first. n must be in [0, 64].
+// first. n must be in [0, 64]. The write proceeds a byte at a time once the
+// partial byte is filled, so long runs (the arithmetic coder's outstanding
+// bits, payload padding) cost n/8 appends rather than n.
 func (w *Writer) WriteBits(v uint64, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(int(v >> uint(i) & 1))
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	w.pos += int64(n)
+	if w.nCur != 0 {
+		fill := 8 - w.nCur
+		if fill > n {
+			w.cur = w.cur<<n | byte(v)
+			w.nCur += n
+			return
+		}
+		w.cur = w.cur<<fill | byte(v>>(n-fill))
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+		n -= fill
+	}
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>n))
+	}
+	if n > 0 {
+		w.cur = byte(v) & (1<<n - 1)
+		w.nCur = n
 	}
 }
 

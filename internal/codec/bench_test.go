@@ -1,0 +1,53 @@
+package codec
+
+import (
+	"testing"
+
+	"videoapp/internal/synth"
+)
+
+// benchVideo encodes a small clip once; Clone benchmarks then measure pure
+// copy cost, the per-round-trip overhead the §6.4 Monte-Carlo loop multiplies
+// by runs × videos × design points.
+func benchVideo(b *testing.B) *Video {
+	b.Helper()
+	cfg, _ := synth.PresetByName("crew_like")
+	seq := synth.Generate(cfg.ScaleTo(96, 64, 10))
+	p := DefaultParams()
+	p.GOPSize = 10
+	p.SearchRange = 8
+	v, err := Encode(seq, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkClone measures the deep copy StoreContext takes per round trip.
+func BenchmarkClone(b *testing.B) {
+	v := benchVideo(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := v.Clone()
+		if len(c.Frames) != len(v.Frames) {
+			b.Fatal("clone lost frames")
+		}
+	}
+}
+
+// BenchmarkClonePooled measures the steady-state pooled copy: the Release on
+// each iteration is what lets the next clone reuse the arena, the pattern
+// StoreContext-driven Monte-Carlo loops follow.
+func BenchmarkClonePooled(b *testing.B) {
+	v := benchVideo(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := v.ClonePooled()
+		if len(c.Frames) != len(v.Frames) {
+			b.Fatal("clone lost frames")
+		}
+		c.Release()
+	}
+}

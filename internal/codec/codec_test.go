@@ -486,6 +486,7 @@ func TestLaterMBFlipDamagesLess(t *testing.T) {
 }
 
 func BenchmarkEncodeQCIF(b *testing.B) {
+	b.ReportAllocs()
 	cfg, _ := synth.PresetByName("crew_like")
 	seq := synth.Generate(cfg.ScaleTo(176, 144, 10))
 	p := testParams()
@@ -498,6 +499,7 @@ func BenchmarkEncodeQCIF(b *testing.B) {
 }
 
 func BenchmarkDecodeQCIF(b *testing.B) {
+	b.ReportAllocs()
 	cfg, _ := synth.PresetByName("crew_like")
 	seq := synth.Generate(cfg.ScaleTo(176, 144, 10))
 	v, err := Encode(seq, testParams())

@@ -52,13 +52,17 @@ func Encode(seq *frame.Sequence, p Params) (*Video, error) {
 			video:   v,
 			ef:      ef,
 			orig:    seq.Frames[disp.display],
-			rec:     frame.MustNew(w, h),
+			rec:     frame.MustNewPooled(w, h),
 			recRefs: rec,
 		}
 		fe.run()
 		rec[codedIdx] = fe.rec
 		displayToCoded[disp.display] = codedIdx
 		v.Frames = append(v.Frames, ef)
+	}
+	// Reconstructed frames never leave Encode; recycle their planes.
+	for _, r := range rec {
+		frame.Recycle(r)
 	}
 	return v, nil
 }
@@ -170,6 +174,11 @@ type frameEncoder struct {
 	// sliceTop is the first macroblock row of the slice being coded;
 	// prediction never crosses it.
 	sliceTop int
+	// biBuf and partBuf are per-encoder scratch for candidate and partition
+	// predictions (a partition is at most one 16×16 macroblock), hoisted out
+	// of the search loops so candidate evaluation never allocates.
+	biBuf   [frame.MBSize * frame.MBSize]uint8
+	partBuf [frame.MBSize * frame.MBSize]uint8
 }
 
 func (fe *frameEncoder) run() {
@@ -351,10 +360,13 @@ func (fe *frameEncoder) searchInter(mx, my int, predMV predict.MV, refF, refB *f
 				if costB < cost {
 					dir, mv0, mv1, cost = dirBwd, mvb, predict.MV{}, costB
 				}
-				// Bi-prediction: average of both best vectors.
-				bi := make([]uint8, r.W*r.H)
+				// Bi-prediction: average of both best vectors. The SAD
+				// terminates early once it cannot beat cost-8; the strict
+				// comparison rejects partial sums exactly as it would the
+				// full SAD.
+				bi := fe.biBuf[:r.W*r.H]
 				fe.compensateBi(bi, refF, refB, px+r.X, py+r.Y, r.W, r.H, mvf, mvb)
-				biSAD := sadAgainst(fe.orig, px+r.X, py+r.Y, r.W, r.H, bi)
+				biSAD := predict.SADAgainstLimit(fe.orig, px+r.X, py+r.Y, r.W, r.H, bi, cost-8)
 				if biCost := biSAD + 8; biCost < cost {
 					dir, mv0, mv1, cost = dirBi, mvf, mvb, biCost
 				}
@@ -392,20 +404,6 @@ func (fe *frameEncoder) searchInter(mx, my int, predMV predict.MV, refF, refB *f
 	return best
 }
 
-func sadAgainst(orig *frame.Frame, cx, cy, w, h int, pred []uint8) int {
-	sad := 0
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			d := int(orig.LumaAt(cx+x, cy+y)) - int(pred[y*w+x])
-			if d < 0 {
-				d = -d
-			}
-			sad += d
-		}
-	}
-	return sad
-}
-
 func (fe *frameEncoder) codeIntraMB(rec *MBRecord, mx, my int, mode predict.IntraMode, pred *[256]uint8, qp, mbIdx int) {
 	rec.Intra = true
 	rec.QP = qp
@@ -435,7 +433,7 @@ func (fe *frameEncoder) codeInterMB(rec *MBRecord, mx, my int, cand *interCandid
 	// Build the luma prediction and dependency footprints.
 	var predY [256]uint8
 	for i, r := range cand.rects {
-		buf := make([]uint8, r.W*r.H)
+		buf := fe.partBuf[:r.W*r.H]
 		switch cand.dirs[i] {
 		case dirBwd:
 			fe.compensate(buf, refB, px+r.X, py+r.Y, r.W, r.H, cand.mvB[i])

@@ -256,6 +256,7 @@ func TestEncodeParallelContextCancelled(t *testing.T) {
 }
 
 func BenchmarkEncodeParallel(b *testing.B) {
+	b.ReportAllocs()
 	seq := testSeq(b, "crew_like", 176, 144, 24)
 	p := testParams()
 	p.GOPSize = 8

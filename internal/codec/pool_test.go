@@ -1,0 +1,171 @@
+package codec
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"videoapp/internal/frame"
+	"videoapp/internal/synth"
+)
+
+func testVideo(t testing.TB) *Video {
+	t.Helper()
+	seq := synth.Generate(synth.Config{
+		Name: "pool", Seed: 3, W: 96, H: 64, Frames: 8, FPS: 30,
+		Sprites: 3, SpriteV: 2, PanX: 0.4, Texture: 0.6, Noise: 1.2,
+	})
+	p := DefaultParams()
+	p.GOPSize = 8
+	p.SearchRange = 8
+	p.SlicesPerFrame = 2
+	v, err := Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func assertVideoEqual(t *testing.T, a, b *Video) {
+	t.Helper()
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame count %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i, fa := range a.Frames {
+		fb := b.Frames[i]
+		if !bytes.Equal(fa.Payload, fb.Payload) {
+			t.Fatalf("frame %d payload differs", i)
+		}
+		if len(fa.MBs) != len(fb.MBs) {
+			t.Fatalf("frame %d MB count differs", i)
+		}
+		for m := range fa.MBs {
+			if fa.MBs[m].BitStart != fb.MBs[m].BitStart || fa.MBs[m].BitLen != fb.MBs[m].BitLen {
+				t.Fatalf("frame %d MB %d bit range differs", i, m)
+			}
+		}
+		for s := range fa.SliceMBStart {
+			if fa.SliceMBStart[s] != fb.SliceMBStart[s] || fa.SliceByteStart[s] != fb.SliceByteStart[s] {
+				t.Fatalf("frame %d slice tables differ", i)
+			}
+		}
+		if fa.Type != fb.Type || fa.BaseQP != fb.BaseQP || fa.RefFwd != fb.RefFwd || fa.RefBwd != fb.RefBwd {
+			t.Fatalf("frame %d header differs", i)
+		}
+	}
+}
+
+// TestClonePooledBitIdentical proves a pooled clone equals a plain clone, and
+// that reuse through Release leaves no residue from the previous occupant.
+func TestClonePooledBitIdentical(t *testing.T) {
+	v := testVideo(t)
+	plain := v.Clone()
+	assertVideoEqual(t, v, plain)
+
+	pooled := v.ClonePooled()
+	assertVideoEqual(t, v, pooled)
+
+	// Mutate the pooled copy; the original and plain clone must not move.
+	for _, f := range pooled.Frames {
+		for i := range f.Payload {
+			f.Payload[i] ^= 0xff
+		}
+	}
+	assertVideoEqual(t, v, plain)
+
+	// Recycle, clone again: the arena comes back dirty and must be fully
+	// overwritten.
+	pooled.Release()
+	again := v.ClonePooled()
+	assertVideoEqual(t, v, again)
+	again.Release()
+
+	// Double release and releasing a plain clone are no-ops.
+	again.Release()
+	plain.Release()
+	if plain.Frames == nil {
+		t.Fatal("releasing a non-pooled clone must not detach its frames")
+	}
+}
+
+// TestClonePooledNoSliceBleed verifies the three-index subslices: appending
+// to one frame's slices must never overwrite a neighbouring frame's data in
+// the shared arena.
+func TestClonePooledNoSliceBleed(t *testing.T) {
+	v := testVideo(t)
+	c := v.ClonePooled()
+	if len(c.Frames) < 2 {
+		t.Skip("need at least two frames")
+	}
+	f0 := c.Frames[0]
+	next := append([]byte(nil), c.Frames[1].Payload...)
+	f0.Payload = append(f0.Payload, 0xAB)
+	if !bytes.Equal(c.Frames[1].Payload, next) {
+		t.Fatal("append to frame 0 payload bled into frame 1's arena range")
+	}
+	f0.MBs = append(f0.MBs, MBRecord{})
+	f0.SliceMBStart = append(f0.SliceMBStart, 7)
+	if c.Frames[1].SliceMBStart[0] == 7 {
+		t.Fatal("append to frame 0 slice table bled into frame 1")
+	}
+	c.Release()
+}
+
+// TestClonePooledConcurrent hammers the pool from many goroutines under the
+// race detector: every clone must match the source regardless of which
+// recycled arena it lands in.
+func TestClonePooledConcurrent(t *testing.T) {
+	v := testVideo(t)
+	want := v.Clone()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := v.ClonePooled()
+				for f := range c.Frames {
+					if !bytes.Equal(c.Frames[f].Payload, want.Frames[f].Payload) {
+						panic("pooled clone corrupted")
+					}
+				}
+				// Dirty it before returning so reuse must rewrite it.
+				for _, ef := range c.Frames {
+					for i := range ef.Payload {
+						ef.Payload[i] = 0xEE
+					}
+				}
+				c.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFramePoolZeroed checks frame.NewPooled's contract the encoder relies
+// on: recycled frames come back zeroed, per geometry.
+func TestFramePoolZeroed(t *testing.T) {
+	f := frame.MustNewPooled(32, 32)
+	for i := range f.Y {
+		f.Y[i] = 0x55
+	}
+	for i := range f.Cb {
+		f.Cb[i], f.Cr[i] = 0x66, 0x77
+	}
+	frame.Recycle(f)
+	g := frame.MustNewPooled(32, 32)
+	for i := range g.Y {
+		if g.Y[i] != 0 {
+			t.Fatal("recycled luma plane not zeroed")
+		}
+	}
+	for i := range g.Cb {
+		if g.Cb[i] != 0 || g.Cr[i] != 0 {
+			t.Fatal("recycled chroma planes not zeroed")
+		}
+	}
+	frame.Recycle(g)
+	if h := frame.MustNewPooled(64, 32); h.W != 64 || len(h.Y) != 64*32 {
+		t.Fatal("geometry-keyed pool returned wrong dimensions")
+	}
+}

@@ -71,7 +71,7 @@ func EncodeABR(seq *frame.Sequence, p Params, targetBitsPerSecond int64) (*Video
 			video:   v,
 			ef:      ef,
 			orig:    seq.Frames[d],
-			rec:     frame.MustNew(w, h),
+			rec:     frame.MustNewPooled(w, h),
 			recRefs: rec,
 		}
 		fe.run()
@@ -93,6 +93,10 @@ func EncodeABR(seq *frame.Sequence, p Params, targetBitsPerSecond int64) (*Video
 		if qpAdj < -rc.MaxQPDelta {
 			qpAdj = -rc.MaxQPDelta
 		}
+	}
+	// Reconstructed frames never leave EncodeABR; recycle their planes.
+	for _, r := range rec {
+		frame.Recycle(r)
 	}
 	return v, nil
 }

@@ -131,6 +131,7 @@ func TestContainerCompactness(t *testing.T) {
 }
 
 func BenchmarkMarshal(b *testing.B) {
+	b.ReportAllocs()
 	seq := testSeq(b, "crew_like", 176, 144, 10)
 	v, err := Encode(seq, testParams())
 	if err != nil {
@@ -143,6 +144,7 @@ func BenchmarkMarshal(b *testing.B) {
 }
 
 func BenchmarkUnmarshal(b *testing.B) {
+	b.ReportAllocs()
 	seq := testSeq(b, "crew_like", 176, 144, 10)
 	v, err := Encode(seq, testParams())
 	if err != nil {

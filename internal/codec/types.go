@@ -208,6 +208,10 @@ type Video struct {
 	W, H   int
 	FPS    int
 	Frames []*EncodedFrame
+
+	// arena is non-nil only on videos produced by ClonePooled; Release
+	// returns it to the pool.
+	arena *cloneArena
 }
 
 // TotalPayloadBits sums the entropy-coded payload sizes.
@@ -261,17 +265,9 @@ func (v *Video) ShiftIndices(base int) {
 }
 
 // Clone returns a deep copy of the video (payload bytes are copied so error
-// injection never mutates the original).
+// injection never mutates the original). The copy is laid out in one flat
+// arena — a handful of allocations regardless of frame count. ClonePooled is
+// the same copy with the arena recycled through a pool.
 func (v *Video) Clone() *Video {
-	out := &Video{Params: v.Params, W: v.W, H: v.H, FPS: v.FPS}
-	out.Frames = make([]*EncodedFrame, len(v.Frames))
-	for i, f := range v.Frames {
-		g := *f
-		g.Payload = append([]byte(nil), f.Payload...)
-		g.MBs = append([]MBRecord(nil), f.MBs...)
-		g.SliceMBStart = append([]int(nil), f.SliceMBStart...)
-		g.SliceByteStart = append([]int(nil), f.SliceByteStart...)
-		out.Frames[i] = &g
-	}
-	return out
+	return v.cloneInto(new(cloneArena))
 }

@@ -352,17 +352,25 @@ type FramePartition struct {
 // Segments expands the pivots into (scheme, start, length) runs covering
 // payloadBits.
 func (fp FramePartition) Segments(payloadBits int64) []Segment {
-	var out []Segment
+	out := make([]Segment, 0, len(fp.Pivots))
+	fp.VisitSegments(payloadBits, func(s Segment) { out = append(out, s) })
+	return out
+}
+
+// VisitSegments calls visit with each (scheme, start, length) run covering
+// payloadBits, in order. It yields exactly the runs Segments returns without
+// materializing the slice, so per-frame hot paths (error injection, footprint
+// accounting) iterate the layout allocation-free.
+func (fp FramePartition) VisitSegments(payloadBits int64, visit func(Segment)) {
 	for i, p := range fp.Pivots {
 		end := payloadBits
 		if i+1 < len(fp.Pivots) {
 			end = fp.Pivots[i+1].Bit
 		}
 		if end > p.Bit {
-			out = append(out, Segment{Scheme: p.Scheme, Start: p.Bit, Bits: end - p.Bit})
+			visit(Segment{Scheme: p.Scheme, Start: p.Bit, Bits: end - p.Bit})
 		}
 	}
-	return out
 }
 
 // Segment is a contiguous payload bit range under one scheme.

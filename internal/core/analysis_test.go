@@ -375,6 +375,7 @@ func TestAnalysisOverheadSmall(t *testing.T) {
 }
 
 func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
 	v := encodeTestVideo(b, "crew_like", 176, 144, 20, smallParams())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -383,6 +384,7 @@ func BenchmarkAnalyze(b *testing.B) {
 }
 
 func BenchmarkSplitStreams(b *testing.B) {
+	b.ReportAllocs()
 	v := encodeTestVideo(b, "crew_like", 176, 144, 10, smallParams())
 	an := Analyze(v, DefaultOptions())
 	parts := an.Partition(PaperAssignment())

@@ -280,6 +280,7 @@ func TestApproximateThenDecryptEqualsDecryptThenApproximate(t *testing.T) {
 }
 
 func BenchmarkCTREncryptMB(b *testing.B) {
+	b.ReportAllocs()
 	key, iv, rng := testKeyIV(12)
 	plain := make([]byte, 1<<20)
 	rng.Read(plain)

@@ -16,6 +16,7 @@ package entropy
 
 import (
 	"math"
+	"math/bits"
 
 	"videoapp/internal/bitio"
 )
@@ -100,14 +101,36 @@ func (e *Encoder) putBit(b int) {
 	} else {
 		e.w.WriteBit(b)
 	}
-	inv := 1 - b
-	for ; e.outstanding > 0; e.outstanding-- {
-		e.w.WriteBit(inv)
+	if e.outstanding == 0 {
+		return
+	}
+	// A carry resolution releases the whole outstanding run at once as the
+	// emitted bit's inverse; write it in word-wide chunks.
+	var pat uint64
+	if b == 0 {
+		pat = ^uint64(0)
+	}
+	for e.outstanding > 0 {
+		k := e.outstanding
+		if k > 64 {
+			k = 64
+		}
+		e.w.WriteBits(pat, uint(k))
+		e.outstanding -= k
 	}
 }
 
 func (e *Encoder) renorm() {
-	for e.rng < 256 {
+	if e.rng >= 256 {
+		return
+	}
+	// The shift count is known up front: double rng until it re-enters
+	// [256, 511]. rng is hoisted out of the loop; low still walks bit by bit
+	// because each emitted bit depends on the running value after the
+	// previous subtraction.
+	k := 9 - bits.Len32(e.rng)
+	e.rng <<= uint(k)
+	for ; k > 0; k-- {
 		switch {
 		case e.low < 256:
 			e.putBit(0)
@@ -119,7 +142,6 @@ func (e *Encoder) renorm() {
 			e.outstanding++
 		}
 		e.low <<= 1
-		e.rng <<= 1
 	}
 }
 
@@ -188,9 +210,7 @@ type Decoder struct {
 // NewDecoder initializes a decoder from r, consuming the 9-bit prefetch.
 func NewDecoder(r *bitio.Reader) *Decoder {
 	d := &Decoder{r: r, rng: 510}
-	for i := 0; i < 9; i++ {
-		d.offset = d.offset<<1 | uint32(d.nextBit())
-	}
+	d.offset = uint32(d.nextBits(9))
 	return d
 }
 
@@ -201,6 +221,20 @@ func (d *Decoder) nextBit() int {
 		return 0
 	}
 	return b
+}
+
+// nextBits reads k bits at once with the decoder's forgiving end-of-stream
+// semantics: bits past the end read as zero, each counted as one overrun —
+// exactly what k successive nextBit calls would produce.
+func (d *Decoder) nextBits(k uint) uint64 {
+	if rem := d.r.Remaining(); int64(k) > rem {
+		got := uint(rem)
+		v, _ := d.r.ReadBits(got)
+		d.overruns += int(k - got)
+		return v << (k - got)
+	}
+	v, _ := d.r.ReadBits(k)
+	return v
 }
 
 // Overruns reports how many bits were read past the end of the stream — a
@@ -229,9 +263,18 @@ func (d *Decoder) DecodeBit(ctx *Context) int {
 		bit = int(ctx.MPS)
 		ctx.State = nextMPS[ctx.State]
 	}
-	for d.rng < 256 {
-		d.rng <<= 1
-		d.offset = d.offset<<1 | uint32(d.nextBit())
+	if d.rng < 256 {
+		// Batched renormalization: the refill width is known up front, so the
+		// range shifts once and the missing offset bits arrive in one read.
+		// The one-bit case — every MPS renormalization — skips the batching
+		// machinery entirely.
+		if k := uint(9 - bits.Len32(d.rng)); k == 1 {
+			d.rng <<= 1
+			d.offset = d.offset<<1 | uint32(d.nextBit())
+		} else {
+			d.rng <<= k
+			d.offset = d.offset<<k | uint32(d.nextBits(k))
+		}
 	}
 	return bit
 }

@@ -194,6 +194,7 @@ func TestStateTablesSane(t *testing.T) {
 }
 
 func BenchmarkEncodeBit(b *testing.B) {
+	b.ReportAllocs()
 	w := bitio.NewWriter()
 	enc := NewEncoder(w)
 	var ctx Context
@@ -207,6 +208,7 @@ func BenchmarkEncodeBit(b *testing.B) {
 }
 
 func BenchmarkDecodeBit(b *testing.B) {
+	b.ReportAllocs()
 	w := bitio.NewWriter()
 	enc := NewEncoder(w)
 	var ctx Context

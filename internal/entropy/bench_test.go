@@ -1,0 +1,81 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+
+	"videoapp/internal/bitio"
+)
+
+// arithBenchBits builds a biased bit source resembling residual syntax:
+// mostly-zero significance bits that the adaptive contexts learn quickly,
+// which keeps the coder in its renormalization-heavy regime.
+func arithBenchBits(n int) []int {
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]int, n)
+	for i := range bits {
+		if rng.Float64() < 0.12 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// BenchmarkArith measures the arithmetic coder's encode and decode loops,
+// renormalization included, over 16 adaptive contexts.
+func BenchmarkArith(b *testing.B) {
+	const n = 1 << 15
+	bits := arithBenchBits(n)
+
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		w := bitio.NewWriter()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			enc := NewEncoder(w)
+			var ctxs [16]Context
+			for j, bit := range bits {
+				enc.EncodeBit(&ctxs[j&15], bit)
+			}
+			enc.Flush()
+		}
+		b.SetBytes(n / 8)
+	})
+
+	b.Run("decode", func(b *testing.B) {
+		w := bitio.NewWriter()
+		enc := NewEncoder(w)
+		var ctxs [16]Context
+		for j, bit := range bits {
+			enc.EncodeBit(&ctxs[j&15], bit)
+		}
+		enc.Flush()
+		payload := w.Bytes()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec := NewDecoder(bitio.NewReader(payload))
+			var dctxs [16]Context
+			for j := 0; j < n; j++ {
+				if dec.DecodeBit(&dctxs[j&15]) != bits[j] {
+					b.Fatalf("decode mismatch at bit %d", j)
+				}
+			}
+		}
+		b.SetBytes(n / 8)
+	})
+
+	b.Run("bypass", func(b *testing.B) {
+		b.ReportAllocs()
+		w := bitio.NewWriter()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			enc := NewEncoder(w)
+			for j := 0; j < n; j++ {
+				enc.EncodeBypass(j & 1)
+			}
+			enc.Flush()
+		}
+		b.SetBytes(n / 8)
+	})
+}

@@ -100,9 +100,11 @@ func Figure11(cfg Config, crfs []int, variable core.ClassAssignment) (*Fig11Resu
 						return nil, err
 					}
 					if flips == 0 {
+						stored.Release()
 						continue
 					}
 					dec, err := codec.Decode(stored)
+					stored.Release()
 					if err != nil {
 						return nil, err
 					}

@@ -68,12 +68,13 @@ func Figure3(cfg Config) (*Fig3Result, error) {
 					if mb.BitLen < 2 {
 						continue
 					}
-					c := ev.Video.Clone()
+					c := ev.Video.ClonePooled()
 					pos := mb.BitStart + rng.Int63n(mb.BitLen)
 					bitio.FlipBit(c.Frames[fi].Payload, pos)
 					// Decode only the damaged frame against clean refs:
 					// isolates coding errors from compensation errors.
 					dec := codec.DecodeSingle(c, fi, ev.CleanRecs)
+					c.Release()
 					p, err := quality.PSNRFrame(ev.CleanRecs[fi], dec)
 					if err != nil {
 						return nil, err

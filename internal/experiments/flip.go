@@ -49,26 +49,25 @@ func (r *bitRegion) locate(off int64) (frameIdx int, bitPos int64) {
 // clone, the coded index of the first damaged frame (len(frames) if none)
 // and the §6.4 scale factor for the measured loss.
 func (r *bitRegion) inject(v *codec.Video, rng *rand.Rand, p float64) (damaged *codec.Video, firstDirty int, scale float64) {
-	c := v.Clone()
+	c := v.ClonePooled()
 	firstDirty = len(v.Frames)
 	scale = 1
 	if r.total == 0 || p <= 0 {
 		return c, firstDirty, scale
 	}
-	var offsets []int64
-	if sim.UseForcedFlip(r.total, p) {
-		ff := sim.ForceOneFlip(rng, r.total, p)
-		offsets = []int64{ff.Position}
-		scale = ff.Scale
-	} else {
-		offsets = sim.ErrorPositions(rng, r.total, p)
-	}
-	for _, off := range offsets {
+	flip := func(off int64) {
 		fi, pos := r.locate(off)
 		bitio.FlipBit(c.Frames[fi].Payload, pos)
 		if fi < firstDirty {
 			firstDirty = fi
 		}
+	}
+	if sim.UseForcedFlip(r.total, p) {
+		ff := sim.ForceOneFlip(rng, r.total, p)
+		flip(ff.Position)
+		scale = ff.Scale
+	} else {
+		sim.VisitErrorPositions(rng, r.total, p, flip)
 	}
 	return c, firstDirty, scale
 }
@@ -98,12 +97,14 @@ func measureRegionLoss(ev *EncodedVideo, region *bitRegion, p float64, runs int,
 				recs[i] = codec.DecodeSingle(damaged, i, recs)
 				pf, derr := quality.PSNRFrame(ev.Seq.Frames[d], recs[i])
 				if derr != nil {
+					damaged.Release()
 					return 0, 0, derr
 				}
 				sum += pf
 			}
 			change = (sum/float64(n) - ev.CleanPSNR) * scale
 		}
+		damaged.Release()
 		mean += change
 		if change < worst {
 			worst = change

@@ -63,9 +63,11 @@ func ScrubSweep(cfg Config, months []float64) (*ScrubResult, error) {
 				}
 				row.Flips += flips
 				if flips == 0 {
+					stored.Release()
 					continue
 				}
 				dec, err := codec.Decode(stored)
+				stored.Release()
 				if err != nil {
 					return nil, err
 				}

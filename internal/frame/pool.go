@@ -1,0 +1,51 @@
+package frame
+
+import "sync"
+
+// Encoding allocates one full reconstructed frame per coded frame — three
+// plane buffers that live exactly as long as the Encode call. Pooling them
+// takes the per-frame plane churn out of the GC's hands; pools are keyed by
+// frame geometry so mixed-size workloads never hand a frame the wrong
+// buffers.
+
+var framePools sync.Map // [2]int{w, h} -> *sync.Pool of *Frame
+
+func poolFor(w, h int) *sync.Pool {
+	key := [2]int{w, h}
+	if p, ok := framePools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := framePools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// NewPooled is New drawing from a per-geometry pool when a recycled frame is
+// available. The returned frame is zeroed either way, so callers observe
+// exactly New's contract.
+func NewPooled(w, h int) (*Frame, error) {
+	if f, ok := poolFor(w, h).Get().(*Frame); ok {
+		clear(f.Y)
+		clear(f.Cb)
+		clear(f.Cr)
+		return f, nil
+	}
+	return New(w, h)
+}
+
+// MustNewPooled is NewPooled panicking on invalid dimensions.
+func MustNewPooled(w, h int) *Frame {
+	f, err := NewPooled(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Recycle returns a frame to its geometry's pool for reuse by NewPooled. The
+// caller must not touch the frame afterwards. nil is ignored.
+func Recycle(f *Frame) {
+	if f == nil {
+		return
+	}
+	poolFor(f.W, f.H).Put(f)
+}

@@ -195,6 +195,7 @@ func TestPoly2MulModProperty(t *testing.T) {
 }
 
 func BenchmarkFieldMul(b *testing.B) {
+	b.ReportAllocs()
 	f := MustField(10)
 	acc := 1
 	for i := 0; i < b.N; i++ {

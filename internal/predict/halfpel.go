@@ -69,6 +69,16 @@ func CompensateBiHP(dst []uint8, ref0, ref1 *frame.Frame, cx, cy, w, h int, mv0,
 
 // SADHP computes the sum of absolute differences for a half-pel vector.
 func SADHP(cur, ref *frame.Frame, cx, cy, w, h int, mv MV) int {
+	return sadHPLimit(cur, ref, cx, cy, w, h, mv, maxSADLimit)
+}
+
+// sadHPLimit is SADHP with early termination at limit (checked per row),
+// under the same exactness contract as SADLimit. Vectors with both
+// components at full-pel positions delegate to the word-wide integer kernel.
+func sadHPLimit(cur, ref *frame.Frame, cx, cy, w, h int, mv MV, limit int) int {
+	if mv.X&1 == 0 && mv.Y&1 == 0 {
+		return SADLimit(cur, ref, cx, cy, w, h, MV{X: mv.X / 2, Y: mv.Y / 2}, limit)
+	}
 	sad := 0
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -77,6 +87,9 @@ func SADHP(cur, ref *frame.Frame, cx, cy, w, h int, mv MV) int {
 				d = -d
 			}
 			sad += d
+		}
+		if sad >= limit {
+			return sad
 		}
 	}
 	return sad
@@ -89,17 +102,23 @@ func MotionSearchHP(cur, ref *frame.Frame, cx, cy, w, h int, pred MV, searchRang
 	intPred := MV{X: pred.X / 2, Y: pred.Y / 2}
 	intBest, _ := MotionSearch(cur, ref, cx, cy, w, h, intPred, searchRange)
 	best := MV{X: intBest.X * 2, Y: intBest.Y * 2}
-	cost := func(mv MV) int {
+	// As in MotionSearch, candidates terminate early against the running
+	// minimum; rejected candidates return >= limit, accepted ones are exact.
+	cost := func(mv MV, limit int) int {
 		d := mv.Sub(pred)
-		return SADHP(cur, ref, cx, cy, w, h, mv) + int(abs16(d.X)) + int(abs16(d.Y))
+		rate := int(abs16(d.X)) + int(abs16(d.Y))
+		if rate >= limit {
+			return limit
+		}
+		return sadHPLimit(cur, ref, cx, cy, w, h, mv, limit-rate) + rate
 	}
-	bestCost := cost(best)
+	bestCost := cost(best, maxSADLimit)
 	for _, d := range [8]MV{
 		{1, 0}, {-1, 0}, {0, 1}, {0, -1},
 		{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
 	} {
 		cand := ClampMV(best.Add(d))
-		if c := cost(cand); c < bestCost {
+		if c := cost(cand, bestCost); c < bestCost {
 			// Note: refinement is a single pass; the integer optimum plus
 			// one half step is within half a pel of the true optimum.
 			best, bestCost = cand, c

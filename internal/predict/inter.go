@@ -133,17 +133,7 @@ func PartitionRects(s PartitionShape) []Rect {
 // SAD computes the sum of absolute differences between the cur rectangle at
 // (cx, cy) and the ref rectangle displaced by mv, with edge clamping.
 func SAD(cur, ref *frame.Frame, cx, cy, w, h int, mv MV) int {
-	sad := 0
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			d := int(cur.LumaAt(cx+x, cy+y)) - int(ref.LumaAt(cx+x+int(mv.X), cy+y+int(mv.Y)))
-			if d < 0 {
-				d = -d
-			}
-			sad += d
-		}
-	}
-	return sad
+	return SADLimit(cur, ref, cx, cy, w, h, mv, maxSADLimit)
 }
 
 // MotionSearch finds the best integer-pel motion vector for the rectangle at
@@ -152,14 +142,22 @@ func SAD(cur, ref *frame.Frame, cx, cy, w, h int, mv MV) int {
 // the vector difference so that near-prediction vectors win ties, as in a
 // rate-distortion-aware encoder.
 func MotionSearch(cur, ref *frame.Frame, cx, cy, w, h int, pred MV, searchRange int) (MV, int) {
-	cost := func(mv MV) int {
+	// cost evaluates a candidate with early termination against limit: once
+	// the rate penalty alone, or the partial SAD plus the penalty, reaches
+	// limit the candidate cannot beat the running minimum, and any returned
+	// value >= limit is rejected by the strict comparisons below exactly as
+	// the exact cost would be. Accepted candidates always carry exact costs.
+	cost := func(mv MV, limit int) int {
 		d := mv.Sub(pred)
-		rate := int(abs16(d.X)) + int(abs16(d.Y))
-		return SAD(cur, ref, cx, cy, w, h, mv) + 2*rate
+		rate := 2 * (int(abs16(d.X)) + int(abs16(d.Y)))
+		if rate >= limit {
+			return limit
+		}
+		return SADLimit(cur, ref, cx, cy, w, h, mv, limit-rate) + rate
 	}
 	best := ClampMV(pred)
-	bestCost := cost(best)
-	if zc := cost(MV{}); zc < bestCost {
+	bestCost := cost(best, maxSADLimit)
+	if zc := cost(MV{}, bestCost); zc < bestCost {
 		best, bestCost = MV{}, zc
 	}
 	// Coarse-to-fine square-pattern refinement until no improvement at each
@@ -180,7 +178,7 @@ func MotionSearch(cur, ref *frame.Frame, cx, cy, w, h int, pred MV, searchRange 
 				if abs16(cand.X-pred.X) > int16(searchRange) || abs16(cand.Y-pred.Y) > int16(searchRange) {
 					continue
 				}
-				if c := cost(cand); c < bestCost {
+				if c := cost(cand, bestCost); c < bestCost {
 					best, bestCost = cand, c
 					improved = true
 				}

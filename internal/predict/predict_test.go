@@ -303,6 +303,7 @@ func TestClampMV(t *testing.T) {
 }
 
 func BenchmarkMotionSearch16x16(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	ref := frame.MustNew(320, 176)
 	for i := range ref.Y {

@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"encoding/binary"
+	"math"
+
+	"videoapp/internal/frame"
+)
+
+// This file holds the block-matching kernel. The exhaustive motion search
+// evaluates thousands of candidate vectors per macroblock, and each
+// evaluation is a sum of absolute differences over the partition rectangle —
+// the single hottest loop in the encoder. Two mechanical optimizations keep
+// results bit-identical while removing most of the work:
+//
+//  1. Word-wide SAD: when neither block touches a frame edge (no clamping),
+//     rows are contiguous byte runs, and eight pixel pairs are differenced at
+//     once with a SWAR emulation of the psadbw instruction on uint64 loads.
+//
+//  2. Early termination: callers pass the running minimum as a limit. Once
+//     the partial sum reaches the limit the candidate cannot win, and the
+//     kernel returns the partial sum. Search loops only accept candidates
+//     whose cost is strictly below the current best, so an early-terminated
+//     (underestimated) value changes no accept/reject decision: the exact
+//     SAD is >= the partial sum, and both are >= the limit.
+//
+// maxSADLimit disables early termination (an exact computation).
+const maxSADLimit = math.MaxInt
+
+const (
+	swarH    = 0x8080808080808080
+	swarLo8  = 0x0101010101010101
+	swarLo16 = 0x0001000100010001
+	swarM16  = 0x00ff00ff00ff00ff
+)
+
+// sad8 returns the sum of absolute byte differences of the eight byte pairs
+// packed in a and b — a SWAR psadbw. Bytewise subtraction uses the
+// borrow-contained form ((x|H) - (y&^H)) ^ ((x^^y) & H); the per-byte
+// "x >= y" mask then selects between the two subtraction directions.
+func sad8(a, b uint64) int {
+	t := (a | swarH) - (b &^ swarH)
+	d1 := t ^ ((a ^ ^b) & swarH)                            // bytewise a-b (mod 256)
+	d2 := ((b | swarH) - (a &^ swarH)) ^ ((b ^ ^a) & swarH) // bytewise b-a
+	ge := (a & ^b & swarH) | (^(a ^ b) & t & swarH)
+	m := ((ge >> 7) & swarLo8) * 0xff // 0xff per byte where a >= b
+	abs := (d1 & m) | (d2 &^ m)
+	// Horizontal sum: fold bytes into 16-bit lanes, then one multiply.
+	s := (abs & swarM16) + ((abs >> 8) & swarM16)
+	return int((s * swarLo16) >> 48)
+}
+
+// sadRow sums absolute differences over two contiguous w-byte rows using
+// 8-byte words, a 4-byte half word, and a scalar tail.
+func sadRow(a, c []uint8) int {
+	sad := 0
+	x := 0
+	for ; x+8 <= len(a); x += 8 {
+		sad += sad8(binary.LittleEndian.Uint64(a[x:]), binary.LittleEndian.Uint64(c[x:]))
+	}
+	if x+4 <= len(a) {
+		sad += sad8(uint64(binary.LittleEndian.Uint32(a[x:])), uint64(binary.LittleEndian.Uint32(c[x:])))
+		x += 4
+	}
+	for ; x < len(a); x++ {
+		d := int(a[x]) - int(c[x])
+		if d < 0 {
+			d = -d
+		}
+		sad += d
+	}
+	return sad
+}
+
+// interior reports whether the w×h rectangle at (x, y) lies fully inside the
+// f frame, so row reads need no edge clamping.
+func interior(f *frame.Frame, x, y, w, h int) bool {
+	return x >= 0 && y >= 0 && x+w <= f.W && y+h <= f.H
+}
+
+// SADLimit computes the sum of absolute differences between the cur
+// rectangle at (cx, cy) and the ref rectangle displaced by mv, with edge
+// clamping, stopping early once the running sum reaches limit (checked at
+// row boundaries). The result is exact whenever it is below limit; an
+// early-terminated result is a lower bound on the exact SAD that is already
+// >= limit, which strict-minimum searches reject identically.
+func SADLimit(cur, ref *frame.Frame, cx, cy, w, h int, mv MV, limit int) int {
+	rx, ry := cx+int(mv.X), cy+int(mv.Y)
+	if interior(cur, cx, cy, w, h) && interior(ref, rx, ry, w, h) {
+		sad := 0
+		for y := 0; y < h; y++ {
+			co := (cy+y)*cur.W + cx
+			ro := (ry+y)*ref.W + rx
+			sad += sadRow(cur.Y[co:co+w], ref.Y[ro:ro+w])
+			if sad >= limit {
+				return sad
+			}
+		}
+		return sad
+	}
+	sad := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(cur.LumaAt(cx+x, cy+y)) - int(ref.LumaAt(rx+x, ry+y))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if sad >= limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// sadAgainstLimit is SADLimit against a flat row-major prediction buffer
+// instead of a second frame.
+func sadAgainstLimit(orig *frame.Frame, cx, cy, w, h int, pred []uint8, limit int) int {
+	sad := 0
+	if interior(orig, cx, cy, w, h) {
+		for y := 0; y < h; y++ {
+			co := (cy+y)*orig.W + cx
+			sad += sadRow(orig.Y[co:co+w], pred[y*w:y*w+w])
+			if sad >= limit {
+				return sad
+			}
+		}
+		return sad
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(orig.LumaAt(cx+x, cy+y)) - int(pred[y*w+x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if sad >= limit {
+			return sad
+		}
+	}
+	return sad
+}
+
+// SADAgainst computes the exact SAD between the orig rectangle at (cx, cy)
+// and a flat row-major prediction buffer.
+func SADAgainst(orig *frame.Frame, cx, cy, w, h int, pred []uint8) int {
+	return sadAgainstLimit(orig, cx, cy, w, h, pred, maxSADLimit)
+}
+
+// SADAgainstLimit is SADAgainst with early termination at limit, under the
+// same exactness contract as SADLimit.
+func SADAgainstLimit(orig *frame.Frame, cx, cy, w, h int, pred []uint8, limit int) int {
+	return sadAgainstLimit(orig, cx, cy, w, h, pred, limit)
+}

@@ -182,6 +182,7 @@ func TestMetricsAgreeOnRanking(t *testing.T) {
 }
 
 func BenchmarkPSNR720p(b *testing.B) {
+	b.ReportAllocs()
 	f := textured(1280, 720)
 	g := noisy(f, 5, 9)
 	b.ResetTimer()
@@ -191,6 +192,7 @@ func BenchmarkPSNR720p(b *testing.B) {
 }
 
 func BenchmarkSSIM720p(b *testing.B) {
+	b.ReportAllocs()
 	f := textured(1280, 720)
 	g := noisy(f, 5, 9)
 	b.ResetTimer()

@@ -15,32 +15,67 @@ import (
 // DefaultRuns is the paper's Monte-Carlo repetition count per video.
 const DefaultRuns = 30
 
+// MaxGeometric is the clamp on Geometric's return value: large enough that
+// no realistic trial count reaches it (2^62 trials), small enough that the
+// idiomatic advance pos + 1 + Geometric(...) cannot wrap negative for any
+// position within a real stream. Before the clamp, the p <= 0 path returned
+// math.MaxInt64 and the +1 alone overflowed.
+const MaxGeometric = math.MaxInt64 >> 1
+
 // Geometric samples the number of failures before the first success of a
-// Bernoulli(p) process (support {0, 1, 2, ...}).
+// Bernoulli(p) process (support {0, 1, 2, ...}), clamped to MaxGeometric.
+// p <= 0 (no success possible) returns MaxGeometric.
 func Geometric(rng *rand.Rand, p float64) int64 {
 	if p >= 1 {
 		return 0
 	}
 	if p <= 0 {
-		return math.MaxInt64
+		return MaxGeometric
 	}
 	u := rng.Float64()
 	for u == 0 {
 		u = rng.Float64()
 	}
-	return int64(math.Log(u) / math.Log1p(-p))
+	g := math.Log(u) / math.Log1p(-p)
+	if g >= float64(MaxGeometric) {
+		// Also guards the float-to-int conversion, whose behaviour on
+		// overflow is implementation-specific.
+		return MaxGeometric
+	}
+	return int64(g)
+}
+
+// VisitErrorPositions calls visit, in increasing order, with the position of
+// every iid Bernoulli(p) error among n Bernoulli trials, using geometric
+// jumps. It draws exactly the RNG sequence ErrorPositions draws (one
+// Geometric variate per visited position plus the terminating draw), so the
+// two forms are interchangeable under a shared seed; the callback form
+// performs no allocation. The number of visits is exactly Binomial(n, p)-
+// distributed. The advance is overflow-safe for every n.
+func VisitErrorPositions(rng *rand.Rand, n int64, p float64, visit func(pos int64)) {
+	pos := Geometric(rng, p)
+	for pos < n {
+		visit(pos)
+		// Terminate on the draw itself when the jump would land at or past
+		// n: pos + 1 + adv >= n  <=>  adv >= n - pos - 1. The subtraction is
+		// non-negative (pos < n), so the comparison cannot wrap even when
+		// adv is MaxGeometric.
+		adv := Geometric(rng, p)
+		if adv >= n-pos-1 {
+			return
+		}
+		pos += 1 + adv
+	}
 }
 
 // ErrorPositions returns the positions of iid Bernoulli(p) errors among n
 // Bernoulli trials, using geometric jumps. The count of returned positions
-// is exactly Binomial(n, p)-distributed.
+// is exactly Binomial(n, p)-distributed. Hot paths should prefer
+// VisitErrorPositions, which yields the identical sequence without
+// allocating.
 func ErrorPositions(rng *rand.Rand, n int64, p float64) []int64 {
 	var out []int64
-	pos := Geometric(rng, p)
-	for pos < n {
-		out = append(out, pos)
-		pos += 1 + Geometric(rng, p)
-	}
+	VisitErrorPositions(rng, n, p, func(pos int64) { out = append(out, pos) })
 	return out
 }
 
@@ -50,11 +85,12 @@ func FlipIID(rng *rand.Rand, buf []byte, bits int64, p float64) int {
 	if bits > int64(len(buf))*8 {
 		bits = int64(len(buf)) * 8
 	}
-	positions := ErrorPositions(rng, bits, p)
-	for _, pos := range positions {
+	n := 0
+	VisitErrorPositions(rng, bits, p, func(pos int64) {
 		bitio.FlipBit(buf, pos)
-	}
-	return len(positions)
+		n++
+	})
+	return n
 }
 
 // ForcedFlip describes the §6.4 low-rate methodology: when p·bits is so

@@ -13,8 +13,59 @@ func TestGeometricEdgeCases(t *testing.T) {
 	if Geometric(rng, 1) != 0 {
 		t.Fatal("p=1 must return 0")
 	}
-	if Geometric(rng, 0) != math.MaxInt64 {
-		t.Fatal("p=0 must return infinity")
+	if Geometric(rng, 0) != MaxGeometric {
+		t.Fatal("p=0 must return the MaxGeometric clamp")
+	}
+	if Geometric(rng, -0.5) != MaxGeometric {
+		t.Fatal("p<0 must return the MaxGeometric clamp")
+	}
+	// The clamp exists so the idiomatic advance cannot wrap: the historical
+	// math.MaxInt64 return made pos + 1 + Geometric(...) overflow negative.
+	if g := Geometric(rng, 0); g+1+g < 0 {
+		t.Fatal("advance arithmetic on two clamped draws must not overflow")
+	}
+	// Astronomically small p draws the clamp too (log ratio overflows int64).
+	if g := Geometric(rng, 1e-300); g != MaxGeometric {
+		t.Fatalf("p=1e-300 should hit the clamp, got %d", g)
+	}
+}
+
+// TestVisitErrorPositionsMatchesSlice pins the contract that the callback
+// form draws the identical RNG sequence and yields the identical positions as
+// the slice form for a shared seed, across rate regimes including p=0 and
+// rates low enough that most draws terminate immediately.
+func TestVisitErrorPositionsMatchesSlice(t *testing.T) {
+	for _, p := range []float64{0, 1e-12, 1e-6, 1e-3, 0.05, 0.5, 1} {
+		for _, n := range []int64{0, 1, 63, 1000, 1 << 20} {
+			rngA := rand.New(rand.NewSource(97))
+			rngB := rand.New(rand.NewSource(97))
+			var got []int64
+			VisitErrorPositions(rngA, n, p, func(pos int64) { got = append(got, pos) })
+			// Re-derive the slice form against an independent generator state
+			// using the historical direct implementation.
+			var want []int64
+			pos := Geometric(rngB, p)
+			for pos < n {
+				want = append(want, pos)
+				adv := Geometric(rngB, p)
+				if adv >= n-pos-1 {
+					break
+				}
+				pos += 1 + adv
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d p=%g: %d positions vs %d", n, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%g: position %d is %d, want %d", n, p, i, got[i], want[i])
+				}
+			}
+			// Both generators must end in the same state: same draw count.
+			if a, b := rngA.Int63(), rngB.Int63(); a != b {
+				t.Fatalf("n=%d p=%g: generator states diverged", n, p)
+			}
+		}
 	}
 }
 
@@ -167,6 +218,7 @@ func TestRunnerDistinctSeedsDiffer(t *testing.T) {
 func BenchmarkFlipIIDMegabit(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	buf := make([]byte, 1<<17)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FlipIID(rng, buf, 1<<20, 1e-4)

@@ -2,11 +2,13 @@ package store
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 
 	"videoapp/internal/bch"
 	"videoapp/internal/core"
 	"videoapp/internal/mlc"
+	"videoapp/internal/obs"
 )
 
 // scrubSystem builds a system with a non-default scrub interval, the
@@ -39,6 +41,7 @@ func BenchmarkResidualRate(b *testing.B) {
 // BenchmarkStoreScrubOverride exercises the full injection path on the
 // recomputed-rate configuration, where every segment consults residualRate.
 func BenchmarkStoreScrubOverride(b *testing.B) {
+	b.ReportAllocs()
 	v, _, parts, _ := buildVideo(b)
 	s := scrubSystem(b)
 	ctx := context.Background()
@@ -47,6 +50,36 @@ func BenchmarkStoreScrubOverride(b *testing.B) {
 		if _, _, err := s.StoreContext(ctx, v, parts, StoreOpts{Seed: int64(i), Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInject measures the error-injection kernel alone: one frame's
+// payload per iteration, with the deep clone factored out, in both the
+// nominal (Table 1 residual rates) and block-accurate (per-512-bit-block
+// binomial) models.
+func BenchmarkInject(b *testing.B) {
+	v, _, parts, _ := buildVideo(b)
+	for _, name := range []string{"nominal", "blockaccurate"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{Substrate: mlc.Default(), Assignment: core.PaperAssignment(), BlockAccurate: name == "blockaccurate"}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Inject into a scratch copy so the source video stays clean; the
+			// payload bytes are restored each iteration outside the timer-free
+			// fast path (flips are sparse, so re-copying dominates less than
+			// recloning the whole video would).
+			work := v.Clone()
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := i % len(work.Frames)
+				rng.Seed(int64(i))
+				s.injectFrame(rng, work.Frames[f], parts[f], obs.Noop{})
+			}
+		})
 	}
 }
 

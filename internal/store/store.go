@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"videoapp/internal/bch"
 	"videoapp/internal/codec"
@@ -157,12 +158,12 @@ func (s *System) FrameCosts(ctx context.Context, v *codec.Video, parts []core.Fr
 	err := par.ForEachLabeled(ctx, len(v.Frames), workers, obs.StageFootprint, "", func(f int) error {
 		ef := v.Frames[f]
 		fc := FrameCost{PerScheme: map[string]int64{}}
-		for _, seg := range parts[f].Segments(ef.PayloadBits()) {
+		parts[f].VisitSegments(ef.PayloadBits(), func(seg core.Segment) {
 			fc.PayloadBits += seg.Bits
 			fc.PerScheme[seg.Scheme.Name] += seg.Bits
 			fc.Cells += s.cfg.Substrate.CellsForBits(seg.Bits, seg.Scheme.Overhead())
 			fc.Parity += float64(seg.Bits) * seg.Scheme.Overhead()
-		}
+		})
 		costs[f] = fc
 		o.FrameDone(obs.StageFootprint, 1)
 		return nil
@@ -271,6 +272,11 @@ type StoreOpts struct {
 // rate is below any plausible per-video probability; the §6.4 scaling
 // handles it analytically where needed).
 //
+// The returned copy is pool-backed: callers running repeated round trips
+// (Monte-Carlo loops) should codec.Video.Release it once done with it so the
+// next trip reuses its buffers. Skipping Release is always safe — the copy is
+// then collected like any other garbage.
+//
 // Cancellation is cooperative, checked at frame boundaries. See StoreOpts
 // for seeding, worker and observer selection.
 func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.FramePartition, o StoreOpts) (*codec.Video, int, error) {
@@ -282,7 +288,7 @@ func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.
 		ob = obs.From(ctx)
 	}
 	defer obs.StartSpan(ob, obs.StageInject).End()
-	out := v.Clone()
+	out := v.ClonePooled()
 	if o.Rng != nil {
 		// Legacy serial stream: draws must happen in frame order from the
 		// one shared source.
@@ -298,8 +304,10 @@ func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.
 	}
 	flips := make([]int, len(out.Frames))
 	err := par.ForEachLabeled(ctx, len(out.Frames), o.Workers, obs.StageInject, "", func(f int) error {
-		rng := rand.New(rand.NewSource(frameSeed(o.Seed, o.FrameOffset+f)))
+		rng := rngPool.Get().(*rand.Rand)
+		rng.Seed(frameSeed(o.Seed, o.FrameOffset+f))
 		flips[f] = s.injectFrame(rng, out.Frames[f], parts[f], ob)
+		rngPool.Put(rng)
 		ob.FrameDone(obs.StageInject, 1)
 		return nil
 	})
@@ -313,12 +321,18 @@ func (s *System) StoreContext(ctx context.Context, v *codec.Video, parts []core.
 	return out, total, nil
 }
 
+// rngPool recycles per-frame RNGs across injection rounds. Seed fully resets
+// a *rand.Rand to the state rand.New(rand.NewSource(seed)) would have, so a
+// pooled source draws exactly the stream a fresh one would.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
 // injectFrame applies the configured error model to one frame's payload,
 // publishes per-scheme raw/residual counters to ob, and returns the number
-// of surviving flips.
+// of surviving flips. The whole path — segment iteration, error placement,
+// bit flipping — runs without allocating.
 func (s *System) injectFrame(rng *rand.Rand, ef *codec.EncodedFrame, part core.FramePartition, ob obs.Observer) int {
 	flips := 0
-	for _, seg := range part.Segments(ef.PayloadBits()) {
+	part.VisitSegments(ef.PayloadBits(), func(seg core.Segment) {
 		var raw, kept int
 		if s.cfg.BlockAccurate {
 			raw, kept = s.injectBlockAccurate(rng, ef.Payload, seg)
@@ -333,7 +347,7 @@ func (s *System) injectFrame(rng *rand.Rand, ef *codec.EncodedFrame, part core.F
 			ob.Counter(obs.CtrResidualFlips, seg.Scheme.Name, int64(kept))
 		}
 		flips += kept
-	}
+	})
 	return flips
 }
 
@@ -354,10 +368,10 @@ func (s *System) injectNominal(rng *rand.Rand, payload []byte, seg core.Segment)
 		return 0
 	}
 	n := 0
-	for _, pos := range sim.ErrorPositions(rng, seg.Bits, rate) {
+	sim.VisitErrorPositions(rng, seg.Bits, rate, func(pos int64) {
 		flipBit(payload, seg.Start+pos)
 		n++
-	}
+	})
 	return n
 }
 
@@ -370,6 +384,14 @@ func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Se
 	if sc.NominalRate == 0 {
 		return 0, 0
 	}
+	// The correction decision needs the block's error count before any flip,
+	// so positions are gathered per block. The scratch array covers any
+	// remotely plausible per-block count (64 errors in a ~600-bit block at
+	// substrate rates); the slice stays on the stack because the collecting
+	// closure never escapes VisitErrorPositions.
+	var errbuf [64]int64
+	errs := errbuf[:0]
+	collect := func(pos int64) { errs = append(errs, pos) }
 	blockPayload := int64(bch.BlockDataBits)
 	blockTotal := blockPayload + int64(10*sc.T)
 	for off := int64(0); off < seg.Bits; off += blockPayload {
@@ -379,7 +401,8 @@ func (s *System) injectBlockAccurate(rng *rand.Rand, payload []byte, seg core.Se
 			dataBits = remaining
 		}
 		totalBits := dataBits + (blockTotal - blockPayload)
-		errs := sim.ErrorPositions(rng, totalBits, s.rber)
+		errs = errs[:0]
+		sim.VisitErrorPositions(rng, totalBits, s.rber, collect)
 		raw += len(errs)
 		if sc.T > 0 && len(errs) <= sc.T {
 			continue // corrected

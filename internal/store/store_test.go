@@ -252,6 +252,7 @@ func TestPartitionCountMismatch(t *testing.T) {
 }
 
 func BenchmarkStore(b *testing.B) {
+	b.ReportAllocs()
 	v, _, parts, _ := buildVideo(b)
 	s := variableSystem(b)
 	rng := rand.New(rand.NewSource(1))

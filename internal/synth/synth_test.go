@@ -129,6 +129,7 @@ func TestSceneCutChangesContent(t *testing.T) {
 }
 
 func BenchmarkGenerateQCIFFrame(b *testing.B) {
+	b.ReportAllocs()
 	cfg, _ := PresetByName("crew_like")
 	cfg = cfg.ScaleTo(176, 144, 1)
 	b.ResetTimer()

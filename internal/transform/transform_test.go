@@ -162,6 +162,7 @@ func TestClampQP(t *testing.T) {
 }
 
 func BenchmarkRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(6))
 	x := randResidual(rng, 80)
 	b.ResetTimer()

@@ -1,0 +1,56 @@
+#!/bin/sh
+# benchcmp.sh OLD.txt NEW.txt — compare two `go test -bench` outputs.
+#
+# Produce the inputs with repeated runs so the deltas are statistically
+# meaningful, e.g.:
+#
+#	make bench > old.txt        # on the baseline commit
+#	make bench > new.txt        # on the optimized commit
+#	scripts/benchcmp.sh old.txt new.txt
+#
+# Uses benchstat when it is on PATH (preferred: proper significance tests
+# across -count runs). Falls back to a plain awk old-vs-new table of ns/op,
+# B/op and allocs/op with speedup ratios, so the comparison works on machines
+# where benchstat is not installed — nothing is downloaded.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 old.txt new.txt" >&2
+	exit 2
+fi
+old=$1
+new=$2
+
+if command -v benchstat >/dev/null 2>&1; then
+	exec benchstat "$old" "$new"
+fi
+
+echo "benchstat not found; falling back to awk comparison" >&2
+awk '
+# Collect "BenchmarkName  N  123 ns/op [... 456 B/op  7 allocs/op]" lines.
+# With -count > 1 the same benchmark repeats; keep the minimum ns/op sample
+# (least noise-contaminated) rather than whichever happened to come last.
+/^Benchmark/ {
+	name = $1
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op" && (!((FILENAME, name) in ns) || $i + 0 < ns[FILENAME, name] + 0))
+			ns[FILENAME, name] = $i
+		if ($(i + 1) == "B/op")      bytes[FILENAME, name] = $i
+		if ($(i + 1) == "allocs/op") allocs[FILENAME, name] = $i
+	}
+	if (FILENAME == ARGV[1] && !(name in seen)) { seen[name] = 1; order[n++] = name }
+}
+END {
+	oldf = ARGV[1]; newf = ARGV[2]
+	printf "%-52s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (!((newf, name) in ns)) continue
+		o = ns[oldf, name]; w = ns[newf, name]
+		ratio = (w > 0) ? o / w : 0
+		amsg = "-"
+		if ((oldf, name) in allocs && (newf, name) in allocs)
+			amsg = allocs[oldf, name] "->" allocs[newf, name]
+		printf "%-52s %14.1f %14.1f %8.2fx %9s\n", name, o, w, ratio, amsg
+	}
+}' "$old" "$new"
