@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-smoke bench-parallel bench-stream fmt vet
+.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke fmt vet
 
-# check is the full verification gate: vet, build, race-enabled tests, and a
+# check is the full verification gate: vet, build, race-enabled tests, a
 # one-iteration compile-and-run pass over every benchmark so the perf harness
-# cannot rot. Tests run shuffled so inter-test ordering dependencies cannot
-# hide.
-check: vet build race bench-smoke
+# cannot rot, and an end-to-end smoke of the chunk server. Tests run shuffled
+# so inter-test ordering dependencies cannot hide.
+check: vet build race bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -48,10 +48,18 @@ bench:
 	$(GO) test -run='^$$' -bench='BenchmarkClone' -benchmem ./internal/codec
 	$(GO) test -run='^$$' -bench='BenchmarkArith' -benchmem ./internal/entropy
 	$(GO) test -run='^$$' -bench='BenchmarkFlipIID' -benchmem ./internal/sim
+	$(GO) test -run='^$$' -bench='BenchmarkServeChunk' -benchmem ./internal/serve
 	$(GO) test -run='^$$' -bench='BenchmarkParallelStore|BenchmarkParallelPipeline' -benchmem .
+
+# serve-smoke is the end-to-end gate of the serving path: build the CLI,
+# archive a synthetic video, start `videoapp serve`, fetch the index, one
+# decoded chunk and /metrics over HTTP, then SIGINT and require a clean
+# drained exit (results/serve_bench.md holds the chunk-path benchmarks).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a regression gate for the perf harness itself, cheap enough for check/CI.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/predict ./internal/store ./internal/codec ./internal/entropy ./internal/sim
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/predict ./internal/store ./internal/codec ./internal/entropy ./internal/sim ./internal/serve
 	$(GO) test -run='^$$' -bench='BenchmarkParallel|BenchmarkPipeline' -benchtime=1x .

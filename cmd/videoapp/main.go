@@ -14,6 +14,7 @@
 //	videoapp [flags] heatmap             per-MB importance map -> .pgm image
 //	videoapp [flags] archive             stream raw video -> chunked .vacs archive
 //	videoapp [flags] chunk               random-access round trip of one archived chunk
+//	videoapp [flags] serve               HTTP chunk server over a .vacs archive
 //	videoapp presets                     list synthetic presets
 //
 // Input is -in FILE (.y4m or .vapp as appropriate) or, when -in is omitted,
@@ -24,6 +25,16 @@
 // they finish, so peak memory is bounded by the chunk size, not the video
 // length. The store command accepts -stream to run the same chunked
 // dataflow (the result is bit-identical to the batch path).
+//
+// The serve command exposes an archive to concurrent clients:
+//
+//	videoapp serve -archive x.vacs -addr :8080
+//
+// serves the archive index on /v1/archive, decoded chunk frames (y4m) on
+// /v1/chunks/{i}, chunk metadata on /v1/chunks/{i}/meta and an
+// observability snapshot on /metrics, with a decoded-chunk LRU cache
+// (-cache-mb) and per-request timeouts (-req-timeout). Ctrl-C drains
+// in-flight connections before exiting.
 package main
 
 import (
@@ -31,9 +42,11 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"time"
 
 	"videoapp"
 	"videoapp/internal/quality"
@@ -61,6 +74,10 @@ type options struct {
 	metrics    bool
 	cpuprofile string
 	traceOut   string
+	archive    string
+	addr       string
+	cacheMB    int
+	reqTimeout time.Duration
 
 	// mtr aggregates stage metrics when -metrics is set and trace streams
 	// JSON events when -trace-out is; both also ride the run's context so
@@ -93,6 +110,10 @@ func main() {
 	flag.BoolVar(&o.metrics, "metrics", false, "print per-stage wall time and pipeline counters (human + JSON)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
 	flag.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
+	flag.StringVar(&o.archive, "archive", "", "serve: .vacs archive to serve (falls back to -in)")
+	flag.StringVar(&o.addr, "addr", ":8080", "serve: listen address")
+	flag.IntVar(&o.cacheMB, "cache-mb", 64, "serve: decoded-chunk cache budget in MiB")
+	flag.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "serve: per-request timeout, decode included")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -189,6 +210,12 @@ func (o options) validate() error {
 	}
 	if o.chunkIdx < 0 {
 		return fmt.Errorf("-chunk %d must be >= 0", o.chunkIdx)
+	}
+	if o.cacheMB < 1 {
+		return fmt.Errorf("-cache-mb %d must be >= 1", o.cacheMB)
+	}
+	if o.reqTimeout <= 0 {
+		return fmt.Errorf("-req-timeout %v must be positive", o.reqTimeout)
 	}
 	return nil
 }
@@ -510,8 +537,53 @@ func run(ctx context.Context, cmd string, o options) error {
 			return writeOut(o.out, func(f *os.File) error { return y4m.Write(f, dec) })
 		}
 		return nil
+	case "serve":
+		path := o.archive
+		if path == "" {
+			path = o.in
+		}
+		if path == "" {
+			return fmt.Errorf("the serve command requires -archive FILE (or -in FILE)")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// *os.File is an io.ReaderAt, so concurrent chunk reads share no
+		// cursor and take no lock.
+		a, err := videoapp.OpenArchive(f)
+		if err != nil {
+			return err
+		}
+		defer a.Close()
+		var extra videoapp.Observer
+		if o.trace != nil {
+			extra = o.trace
+		}
+		srv := videoapp.NewChunkServer(a, videoapp.ServeOptions{
+			CacheBytes:     int64(o.cacheMB) << 20,
+			Workers:        o.workers,
+			RequestTimeout: o.reqTimeout,
+			Observer:       extra,
+		})
+		l, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving %s (%d chunks, %d frames) on http://%s\n",
+			path, a.NumChunks(), a.TotalFrames(), l.Addr())
+		err = srv.Serve(ctx, l)
+		if o.mtr != nil {
+			// Fold the server's aggregates into the -metrics report.
+			snap := srv.Metrics().Snapshot()
+			fmt.Println("-- serve metrics --")
+			snap.WriteText(os.Stdout)
+		}
+		fmt.Println("server drained, exiting")
+		return err
 	default:
-		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|presets)", cmd)
+		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|serve|presets)", cmd)
 	}
 }
 

@@ -4,7 +4,13 @@ package videoapp_test
 // the output).
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 
 	"videoapp"
 )
@@ -39,6 +45,54 @@ func ExampleAnalyze() {
 	// Output:
 	// monotone: true
 	// first frame head >= tail: true
+}
+
+// The concurrent read path: stream a video into a chunked archive, open it
+// for lock-free random access, and serve decoded chunks over HTTP to many
+// clients at once. The decoded-chunk cache coalesces the stampede, so the
+// hot chunk is decoded exactly once.
+func Example_serve() {
+	seq, _ := videoapp.GenerateTestVideo("news_like", 64, 48, 8)
+	p := videoapp.NewPipeline(videoapp.WithParams(func() videoapp.Params {
+		pp := videoapp.DefaultParams()
+		pp.GOPSize = 4
+		pp.SearchRange = 8
+		return pp
+	}()))
+	var archive bytes.Buffer
+	_, _, err := p.StreamToArchive(context.Background(), videoapp.SequenceSource(seq), &archive)
+	if err != nil {
+		fmt.Println("archive:", err)
+		return
+	}
+
+	a, _ := videoapp.OpenArchive(bytes.NewReader(archive.Bytes()))
+	srv := videoapp.NewChunkServer(a, videoapp.ServeOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Sixteen clients stampede the same chunk concurrently.
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/chunks/0")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	stats := srv.CacheStats()
+	fmt.Println("chunks served:", a.NumChunks() > 0)
+	fmt.Println("decodes under stampede:", stats.Loads)
+	// Output:
+	// chunks served: true
+	// decodes under stampede: 1
 }
 
 // Containers survive a marshal/unmarshal round trip bit-exactly.

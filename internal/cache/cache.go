@@ -1,0 +1,245 @@
+// Package cache is a sized LRU cache with singleflight loading, the
+// building block of the serve layer's decoded-chunk cache. It has no
+// dependencies beyond the standard library.
+//
+// The cache is keyed, generic, and bounded by total cost rather than entry
+// count: each value is charged a caller-defined cost (bytes of a decoded
+// chunk, say) and the least-recently-used entries are evicted until the
+// total fits the budget. GetOrLoad coalesces concurrent loads of the same
+// key — under a stampede of N readers for a cold key, the loader runs
+// exactly once and all N share its result — which is what keeps a hot chunk
+// from being decoded N times when N clients request it at once.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a cost-bounded LRU map with request-coalescing loads. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache[K comparable, V any] struct {
+	maxCost int64
+	cost    func(V) int64
+
+	mu      sync.Mutex
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+	total   int64
+	flights map[K]*flight[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
+}
+
+// entry is one resident cache cell.
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+// flight is one in-progress load shared by every concurrent caller of the
+// same key.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a cache bounded by maxCost, with each value charged by cost.
+// A nil cost charges every entry 1, making maxCost an entry count. A
+// maxCost <= 0 disables residency entirely — GetOrLoad still coalesces
+// concurrent loads, but nothing is retained.
+func New[K comparable, V any](maxCost int64, cost func(V) int64) *Cache[K, V] {
+	if cost == nil {
+		cost = func(V) int64 { return 1 }
+	}
+	return &Cache[K, V]{
+		maxCost: maxCost,
+		cost:    cost,
+		entries: map[K]*list.Element{},
+		order:   list.New(),
+		flights: map[K]*flight[V]{},
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Add inserts or replaces the value for key and evicts LRU entries until
+// the total cost fits the budget. A value whose own cost exceeds the whole
+// budget is not retained (it would only evict everything else and then
+// miss anyway).
+func (c *Cache[K, V]) Add(key K, val V) {
+	cost := c.cost(val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(key, val, cost)
+}
+
+func (c *Cache[K, V]) addLocked(key K, val V, cost int64) {
+	if cost > c.maxCost {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.total += cost - e.cost
+		e.val, e.cost = val, cost
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+		c.total += cost
+	}
+	for c.total > c.maxCost {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache[K, V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.total -= e.cost
+}
+
+// Remove drops key from the cache, reporting whether it was resident.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		c.removeLocked(el)
+	}
+	return ok
+}
+
+// GetOrLoad returns the cached value for key, or runs load to produce it.
+// Concurrent calls for the same key share a single load (singleflight):
+// exactly one caller's load function runs, the rest block until it
+// finishes and receive the same value or error. Successful loads are added
+// to the cache; failed loads are not, so a later call retries.
+//
+// The load function receives a context detached from ctx's cancellation:
+// the result is shared by every waiter (and the cache), so one caller
+// hanging up must not poison it for the others. A caller whose own ctx
+// ends while waiting returns ctx.Err() immediately; the load keeps running
+// and its result is still cached for future readers.
+func (c *Cache[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		v := el.Value.(*entry[K, V]).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.misses.Add(1)
+	if f, ok := c.flights[key]; ok {
+		// Someone is already loading this key; wait on their flight.
+		c.mu.Unlock()
+		return c.wait(ctx, f)
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	c.loads.Add(1)
+	go func() {
+		f.val, f.err = load(context.WithoutCancel(ctx))
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.addLocked(key, f.val, c.cost(f.val))
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	return c.wait(ctx, f)
+}
+
+// wait blocks on a flight until it completes or the caller's own context
+// ends, whichever comes first.
+func (c *Cache[K, V]) wait(ctx context.Context, f *flight[V]) (V, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cost returns the total cost of resident entries.
+func (c *Cache[K, V]) Cost() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Stats is a point-in-time copy of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Get/GetOrLoad lookups by residency at lookup
+	// time (a coalesced waiter counts as a miss — the value was not
+	// resident — but triggers no extra load).
+	Hits, Misses int64
+	// Loads counts loader executions started by GetOrLoad; under a stampede
+	// it stays at one per cold key, which is the singleflight guarantee.
+	Loads int64
+	// Evictions counts entries dropped to fit the cost budget.
+	Evictions int64
+	// Len and Cost describe current residency.
+	Len  int
+	Cost int64
+}
+
+// HitRate returns Hits over total lookups, 0 when there were none.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns the current counter values.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	n, total := len(c.entries), c.total
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Loads:     c.loads.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       n,
+		Cost:      total,
+	}
+}

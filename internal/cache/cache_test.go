@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetAddEvictLRU(t *testing.T) {
+	c := New[int, string](3, nil) // nil cost: capacity of 3 entries
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	if _, ok := c.Get(1); !ok { // touch 1: now 2 is LRU
+		t.Fatal("1 must be resident")
+	}
+	c.Add(4, "d") // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 must have been evicted as LRU")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d must be resident", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Len != 3 {
+		t.Fatalf("stats %+v: want 1 eviction, 3 resident", s)
+	}
+}
+
+func TestCostBasedEviction(t *testing.T) {
+	c := New[int, string](10, func(v string) int64 { return int64(len(v)) })
+	c.Add(1, "aaaa") // cost 4
+	c.Add(2, "bbbb") // cost 4
+	c.Add(3, "cc")   // cost 2, total 10: all fit
+	if c.Cost() != 10 || c.Len() != 3 {
+		t.Fatalf("cost %d len %d, want 10/3", c.Cost(), c.Len())
+	}
+	c.Add(4, "ddd") // cost 3: evicts 1 (LRU), total 9
+	if _, ok := c.Get(1); ok {
+		t.Fatal("1 must have been evicted")
+	}
+	if c.Cost() != 9 {
+		t.Fatalf("cost %d, want 9", c.Cost())
+	}
+	// An entry larger than the whole budget is not retained.
+	c.Add(5, "0123456789ABCDEF")
+	if _, ok := c.Get(5); ok {
+		t.Fatal("oversized entry must not be retained")
+	}
+	// Replacing a key adjusts the total rather than double counting.
+	c.Add(4, "dddddd")
+	if c.Cost() > 10 {
+		t.Fatalf("cost %d exceeds budget after replace", c.Cost())
+	}
+}
+
+func TestGetOrLoadCachesSuccess(t *testing.T) {
+	c := New[string, int](8, nil)
+	calls := 0
+	load := func(context.Context) (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrLoad(context.Background(), "k", load)
+		if err != nil || v != 42 {
+			t.Fatalf("GetOrLoad = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls)
+	}
+}
+
+func TestGetOrLoadDoesNotCacheErrors(t *testing.T) {
+	c := New[string, int](8, nil)
+	boom := errors.New("boom")
+	calls := 0
+	load := func(context.Context) (int, error) { calls++; return 0, boom }
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrLoad(context.Background(), "k", load); !errors.Is(err, boom) {
+			t.Fatalf("want boom, got %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed load must not be cached: %d calls, want 2", calls)
+	}
+}
+
+// TestSingleflightStampede pins the coalescing guarantee: N concurrent
+// readers of one cold key trigger exactly one loader execution and all
+// observe its value.
+func TestSingleflightStampede(t *testing.T) {
+	c := New[string, int](8, nil)
+	const n = 64
+	var calls atomic.Int64
+	release := make(chan struct{})
+	load := func(context.Context) (int, error) {
+		calls.Add(1)
+		<-release // hold every reader in the same flight
+		return 7, nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrLoad(context.Background(), "hot", load)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v != 7 {
+				errs <- fmt.Errorf("got %d, want 7", v)
+			}
+		}()
+	}
+	// Let the goroutines pile into the flight, then release the one loader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("loader ran %d times under stampede, want exactly 1", got)
+	}
+	if s := c.Stats(); s.Loads != 1 {
+		t.Fatalf("Stats.Loads = %d, want 1", s.Loads)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context ends returns promptly with
+// ctx.Err while the load completes and is cached for later readers.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[string, int](8, nil)
+	release := make(chan struct{})
+	load := func(context.Context) (int, error) {
+		<-release
+		return 9, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad(ctx, "k", load)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(release)
+	// The detached load still completes and caches its value.
+	v, err := c.GetOrLoad(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, errors.New("must not reload")
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("after cancel: %d, %v (want cached 9)", v, err)
+	}
+}
+
+func TestConcurrentMixedAccess(t *testing.T) {
+	c := New[int, int](16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 32
+				switch i % 3 {
+				case 0:
+					c.Add(k, k)
+				case 1:
+					c.Get(k)
+				default:
+					c.GetOrLoad(context.Background(), k, func(context.Context) (int, error) { return k, nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("%d entries exceed capacity", c.Len())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New[int, int](4, nil)
+	c.Add(1, 1)
+	c.Get(1)
+	c.Get(2)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.HitRate() != 0.5 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / rate 0.5", s)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate must be 0")
+	}
+}

@@ -39,6 +39,10 @@ const (
 	StageInject    = "inject"
 	StageDecode    = "decode"
 	StageMeasure   = "measure"
+	// StageServeChunk spans one cold chunk materialization in the serve
+	// layer: archive read, decode, and y4m rendering. Cache hits publish no
+	// span, so the stage's wall time is pure decode-path latency.
+	StageServeChunk = "serve_chunk"
 )
 
 // Counter and gauge names published by the instrumented stages. Labels are
@@ -70,6 +74,28 @@ const (
 	GaugeCells = "footprint_cells"
 	// GaugeCellsPerPixel is the paper's density metric (Figure 11 x-axis).
 	GaugeCellsPerPixel = "footprint_cells_per_pixel"
+	// CtrServeRequests counts HTTP requests accepted by the chunk server,
+	// labelled by route name (archive, chunk, chunk_meta, metrics, healthz).
+	CtrServeRequests = "serve_requests"
+	// CtrServeErrors counts requests that finished with a non-2xx status,
+	// labelled by route name.
+	CtrServeErrors = "serve_errors"
+	// CtrServeCacheHits counts chunk requests answered from the decoded
+	// cache.
+	CtrServeCacheHits = "serve_cache_hits"
+	// CtrServeCacheMisses counts chunk requests that had to wait on a
+	// decode (coalesced waiters included).
+	CtrServeCacheMisses = "serve_cache_misses"
+	// CtrServeDecodes counts actual chunk decode executions; under request
+	// coalescing this stays at one per cold chunk however many clients
+	// stampede it.
+	CtrServeDecodes = "serve_chunk_decodes"
+	// GaugeServeInFlight is the number of requests currently being served.
+	GaugeServeInFlight = "serve_in_flight"
+	// GaugeServeCacheHitRate is the decoded-chunk cache hit rate in [0,1].
+	GaugeServeCacheHitRate = "serve_cache_hit_rate"
+	// GaugeServeCacheBytes is the resident cost of the decoded-chunk cache.
+	GaugeServeCacheBytes = "serve_cache_bytes"
 )
 
 // Observer receives pipeline instrumentation events. Implementations must

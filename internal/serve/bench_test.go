@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeChunk measures one GET /v1/chunks/{i} through the full
+// handler stack (routing, instrumentation, cache): "hot" serves from the
+// decoded-chunk cache, "cold" pays the archive read + decode + y4m render
+// on every iteration.
+func BenchmarkServeChunk(b *testing.B) {
+	a := buildArchive(b, 2)
+	s := New(a, Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/chunks/0", nil)
+
+	run := func(b *testing.B, evict bool) {
+		b.ReportAllocs()
+		// Warm the cache so "hot" never decodes inside the timed loop.
+		warm := httptest.NewRecorder()
+		s.Handler().ServeHTTP(warm, req)
+		if warm.Code != http.StatusOK {
+			b.Fatalf("warm-up status %d", warm.Code)
+		}
+		b.SetBytes(int64(warm.Body.Len()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if evict {
+				b.StopTimer()
+				s.cache.Remove(0)
+				b.StartTimer()
+			}
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	}
+	b.Run("hot", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+	if cs := s.CacheStats(); cs.Loads < 1 {
+		b.Fatalf("cache stats %+v", cs)
+	}
+}
+
+// BenchmarkArchiveReadChunk measures the raw lock-free archive read that
+// the server sits on, without decode or HTTP.
+func BenchmarkArchiveReadChunk(b *testing.B) {
+	a := buildArchive(b, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.ReadChunk(i % a.NumChunks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeChunkParallel drives the hot path from parallel clients,
+// the shape of the serving workload the read path is built for.
+func BenchmarkServeChunkParallel(b *testing.B) {
+	a := buildArchive(b, 2)
+	s := New(a, Options{})
+	warm := httptest.NewRecorder()
+	s.Handler().ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/chunks/0", nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm-up status %d", warm.Code)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(warm.Body.Len()))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/chunks/0", nil)
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	if fmt.Sprint(s.CacheStats().Loads) == "0" {
+		b.Fatal("no loads recorded")
+	}
+}

@@ -1,0 +1,355 @@
+// Package serve is the concurrent read path of the archive layer: an HTTP
+// chunk server that ships decoded chunk frames, per-chunk metadata and the
+// archive index from a VACS container to many simultaneous clients.
+//
+// The paper's premise is that approximately stored video is read far more
+// often than it is written, so the serving layer is built around three
+// read-side mechanisms:
+//
+//   - the archive is accessed through io.ReaderAt (store.OpenChunkArchiveAt),
+//     so concurrent chunk reads share no cursor and take no lock;
+//   - decoded chunks are rendered once into a cost-bounded LRU cache
+//     (internal/cache), sized in bytes of rendered y4m output;
+//   - cold-chunk decodes are coalesced (singleflight): a stampede of N
+//     clients on one uncached chunk performs a single archive read + decode
+//     and every client shares the bytes.
+//
+// Every request runs under a context with the configured timeout and is
+// cancelled when the client hangs up; the decode path checks the context
+// at frame boundaries. The server publishes its own observability through
+// internal/obs (request counts, cache hit rate, decode latency,
+// in-flight gauge) and renders a snapshot on /metrics. Shutdown drains
+// in-flight connections before returning.
+//
+// # Endpoints
+//
+//	GET /healthz                 liveness probe, "ok"
+//	GET /v1/archive              archive index: meta + per-chunk records (JSON)
+//	GET /v1/chunks/{index}       decoded chunk frames as YUV4MPEG2
+//	GET /v1/chunks/{index}/meta  one chunk's record (JSON)
+//	GET /metrics                 obs snapshot (text; ?format=json for JSON)
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"videoapp/internal/cache"
+	"videoapp/internal/codec"
+	"videoapp/internal/obs"
+	"videoapp/internal/store"
+	"videoapp/internal/y4m"
+)
+
+// Options configures a Server. The zero value is usable: every field has a
+// working default.
+type Options struct {
+	// CacheBytes bounds the decoded-chunk cache by rendered output size;
+	// <= 0 selects 64 MiB. The cache holds y4m-rendered chunks, so one
+	// entry costs roughly frames × 1.5 × W × H bytes.
+	CacheBytes int64
+	// Workers bounds the decoder's frame parallelism per cold chunk;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// RequestTimeout bounds one request end to end, decode included;
+	// <= 0 selects 30 seconds. Expired requests answer 503.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds connection draining during Shutdown; <= 0
+	// selects 10 seconds.
+	DrainTimeout time.Duration
+	// Observer, when non-nil, receives the serve-layer events alongside
+	// the server's own metrics aggregator.
+	Observer obs.Observer
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Server serves one archive to many concurrent clients. Construct with New;
+// all methods are safe for concurrent use.
+type Server struct {
+	archive  *store.ChunkArchive
+	opts     Options
+	cache    *cache.Cache[int, []byte]
+	metrics  *obs.Metrics
+	observer obs.Observer
+	inFlight atomic.Int64
+	mux      *http.ServeMux
+}
+
+// New returns a server over an opened archive. The archive must outlive the
+// server; the server never closes it.
+func New(a *store.ChunkArchive, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		archive: a,
+		opts:    opts,
+		cache:   cache.New[int, []byte](opts.CacheBytes, func(b []byte) int64 { return int64(len(b)) }),
+		metrics: obs.NewMetrics(),
+	}
+	s.observer = obs.Multi(s.metrics, opts.Observer)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/archive", s.route("archive", s.handleArchive))
+	s.mux.HandleFunc("GET /v1/chunks/{index}", s.route("chunk", s.handleChunk))
+	s.mux.HandleFunc("GET /v1/chunks/{index}/meta", s.route("chunk_meta", s.handleChunkMeta))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the server's routing handler, for mounting under a custom
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics aggregator.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// CacheStats returns the decoded-chunk cache counters; Stats.Loads is the
+// number of actual decode executions (the singleflight counter).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// statusWriter records the status code written to a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with the per-request machinery: the in-flight
+// gauge, request/error counters, and the request timeout. The request
+// context is also cancelled by the client hanging up, which the decode
+// path observes at frame boundaries.
+func (s *Server) route(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.observer.Gauge(obs.GaugeServeInFlight, "", float64(s.inFlight.Add(1)))
+		defer func() {
+			s.observer.Gauge(obs.GaugeServeInFlight, "", float64(s.inFlight.Add(-1)))
+		}()
+		s.observer.Counter(obs.CtrServeRequests, name, 1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if err := h(sw, r.WithContext(ctx)); err != nil {
+			s.writeError(sw, err)
+		}
+		if sw.status >= 400 {
+			s.observer.Counter(obs.CtrServeErrors, name, 1)
+		}
+	}
+}
+
+// writeError maps the archive layer's typed errors and context outcomes to
+// HTTP statuses. It is a no-op when the handler already wrote a body.
+func (s *Server) writeError(w *statusWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, store.ErrChunkNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, store.ErrArchiveClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, store.ErrCorruptRecord):
+		status = http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client hung up; nothing useful can be written.
+		return
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err := fmt.Fprintln(w, "ok")
+	return err
+}
+
+// archiveIndex is the JSON shape of GET /v1/archive.
+type archiveIndex struct {
+	Meta        store.ArchiveMeta `json:"meta"`
+	Chunks      int               `json:"chunks"`
+	TotalFrames int               `json:"total_frames"`
+	Index       []store.ChunkInfo `json:"index"`
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) error {
+	idx := archiveIndex{
+		Meta:        s.archive.Meta(),
+		Chunks:      s.archive.NumChunks(),
+		TotalFrames: s.archive.TotalFrames(),
+	}
+	idx.Index = make([]store.ChunkInfo, idx.Chunks)
+	for i := range idx.Index {
+		info, err := s.archive.Info(i)
+		if err != nil {
+			return err
+		}
+		idx.Index[i] = info
+	}
+	return writeJSON(w, idx)
+}
+
+func (s *Server) handleChunkMeta(w http.ResponseWriter, r *http.Request) error {
+	i, err := chunkIndex(r)
+	if err != nil {
+		return err
+	}
+	info, err := s.archive.Info(i)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, info)
+}
+
+// handleChunk answers with the decoded frames of one chunk as a YUV4MPEG2
+// stream, from cache when hot. Cold chunks are materialized once per
+// stampede via the cache's singleflight and then shared.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) error {
+	i, err := chunkIndex(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.archive.Info(i); err != nil {
+		return err // 404 before paying a flight for an absent chunk
+	}
+	if _, hit := s.cache.Get(i); hit {
+		s.observer.Counter(obs.CtrServeCacheHits, "", 1)
+	} else {
+		s.observer.Counter(obs.CtrServeCacheMisses, "", 1)
+	}
+	data, err := s.cache.GetOrLoad(r.Context(), i, func(ctx context.Context) ([]byte, error) {
+		return s.materialize(ctx, i)
+	})
+	if err != nil {
+		return err
+	}
+	s.publishCacheGauges()
+	w.Header().Set("Content-Type", "video/x-yuv4mpeg")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-Chunk-Index", strconv.Itoa(i))
+	_, err = w.Write(data)
+	return err
+}
+
+// materialize is the cold-chunk path: read the chunk's bytes from the
+// archive, decode them, and render the frames as y4m. It runs at most once
+// per chunk under stampede (cache singleflight) and publishes the decode
+// span and counter.
+func (s *Server) materialize(ctx context.Context, i int) ([]byte, error) {
+	sp := obs.StartSpan(s.observer, obs.StageServeChunk)
+	defer sp.End()
+	s.observer.Counter(obs.CtrServeDecodes, "", 1)
+	v, _, err := s.archive.ReadChunk(i)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := codec.DecodeContext(ctx, v, codec.DecodeOptions{}, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(seqSize(len(seq.Frames), v.W, v.H))
+	if err := y4m.Write(&buf, seq); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// seqSize estimates the rendered y4m size of frames 4:2:0 pictures, for
+// pre-sizing the render buffer.
+func seqSize(frames, w, h int) int {
+	return frames*(w*h*3/2+8) + 128
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	s.publishCacheGauges()
+	snap := s.metrics.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		return writeJSON(w, snap)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return snap.WriteText(w)
+}
+
+// publishCacheGauges refreshes the cache-derived gauges from the cache's
+// own counters.
+func (s *Server) publishCacheGauges() {
+	cs := s.cache.Stats()
+	s.observer.Gauge(obs.GaugeServeCacheHitRate, "", cs.HitRate())
+	s.observer.Gauge(obs.GaugeServeCacheBytes, "", float64(cs.Cost))
+}
+
+// chunkIndex parses the {index} path value; malformed or out-of-range
+// values surface as ErrChunkNotFound so they answer 404.
+func chunkIndex(r *http.Request) (int, error) {
+	i, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad chunk index %q", store.ErrChunkNotFound, r.PathValue("index"))
+	}
+	return i, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// Serve accepts connections on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes, idle connections drop, and in-flight
+// requests get DrainTimeout to finish before the server gives up. It
+// returns nil on a clean drained shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drain)
+	if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndServe binds addr and calls Serve. To learn the bound address of
+// an ephemeral ":0" listen, bind a net.Listener yourself and call Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"videoapp/internal/codec"
+	"videoapp/internal/core"
+	"videoapp/internal/store"
+	"videoapp/internal/synth"
+	"videoapp/internal/y4m"
+)
+
+// buildArchive encodes a small synthetic video and writes it into an
+// in-memory VACS archive of single-GOP chunks, returning the opened
+// archive.
+func buildArchive(t testing.TB, gops int) *store.ChunkArchive {
+	t.Helper()
+	const gopSize = 4
+	cfg, _ := synth.PresetByName("crew_like")
+	seq := synth.Generate(cfg.ScaleTo(96, 64, gops*gopSize))
+	p := codec.DefaultParams()
+	p.GOPSize = gopSize
+	p.SearchRange = 8
+	v, err := codec.Encode(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.Analyze(v, core.DefaultOptions())
+	parts := an.Partition(core.PaperAssignment())
+
+	var buf bytes.Buffer
+	cw, err := store.NewChunkWriter(&buf, store.ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: gopSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < len(v.Frames); s += gopSize {
+		e := min(s+gopSize, len(v.Frames))
+		sub := &codec.Video{Params: p, W: v.W, H: v.H, FPS: v.FPS, Frames: append([]*codec.EncodedFrame(nil), v.Frames[s:e]...)}
+		sub = sub.Clone()
+		sub.ShiftIndices(-s)
+		if err := cw.Append(sub, parts[s:e], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := store.OpenChunkArchiveAt(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// wantChunkBody renders the reference response body for chunk i: the
+// serial ReadChunk, decoded and written as y4m.
+func wantChunkBody(t testing.TB, a *store.ChunkArchive, i int) []byte {
+	t.Helper()
+	v, _, err := a.ReadChunk(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := codec.Decode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := y4m.Write(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func get(t testing.TB, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeEndpoints(t *testing.T) {
+	a := buildArchive(t, 3)
+	s := New(a, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := get(t, ts.Client(), ts.URL+"/healthz")
+	if status != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", status, body)
+	}
+
+	status, body = get(t, ts.Client(), ts.URL+"/v1/archive")
+	if status != http.StatusOK {
+		t.Fatalf("archive: status %d", status)
+	}
+	var idx archiveIndex
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Chunks != a.NumChunks() || idx.TotalFrames != a.TotalFrames() || len(idx.Index) != a.NumChunks() {
+		t.Fatalf("index %+v does not match archive (%d chunks, %d frames)", idx, a.NumChunks(), a.TotalFrames())
+	}
+	if idx.Meta != a.Meta() {
+		t.Fatalf("meta %+v, want %+v", idx.Meta, a.Meta())
+	}
+
+	// Every chunk's body is bit-identical to the serial read path.
+	for i := 0; i < a.NumChunks(); i++ {
+		status, body := get(t, ts.Client(), fmt.Sprintf("%s/v1/chunks/%d", ts.URL, i))
+		if status != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, status)
+		}
+		if want := wantChunkBody(t, a, i); !bytes.Equal(body, want) {
+			t.Fatalf("chunk %d: %d bytes differ from serial decode (%d bytes)", i, len(body), len(want))
+		}
+	}
+
+	status, body = get(t, ts.Client(), ts.URL+"/v1/chunks/1/meta")
+	if status != http.StatusOK {
+		t.Fatalf("chunk meta: status %d", status)
+	}
+	var info store.ChunkInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := a.Info(1); info != want {
+		t.Fatalf("chunk 1 meta %+v, want %+v", info, want)
+	}
+
+	for _, path := range []string{"/v1/chunks/99", "/v1/chunks/-1", "/v1/chunks/nope"} {
+		if status, _ := get(t, ts.Client(), ts.URL+path); status != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, status)
+		}
+	}
+
+	status, body = get(t, ts.Client(), ts.URL+"/metrics")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("serve_requests")) {
+		t.Fatalf("metrics: %d %q", status, body[:min(len(body), 200)])
+	}
+	status, body = get(t, ts.Client(), ts.URL+"/metrics?format=json")
+	if status != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("metrics json: %d, valid=%v", status, json.Valid(body))
+	}
+}
+
+// TestServeStampedeDecodesOnce pins the acceptance criterion: many
+// concurrent clients hammering one cold chunk cause exactly one decode
+// (singleflight), and every client receives bytes identical to the serial
+// read path.
+func TestServeStampedeDecodesOnce(t *testing.T) {
+	a := buildArchive(t, 2)
+	s := New(a, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	want := wantChunkBody(t, a, 1)
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			status, body := get(t, ts.Client(), ts.URL+"/v1/chunks/1")
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, status)
+				return
+			}
+			if !bytes.Equal(body, want) {
+				errs <- fmt.Errorf("client %d: body differs from serial decode", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Loads != 1 {
+		t.Fatalf("stampede of %d clients ran %d decodes, want exactly 1 (singleflight)", clients, cs.Loads)
+	}
+	if snap := s.Metrics().Snapshot(); snap.Counter("serve_chunk_decodes", "") != 1 {
+		t.Fatalf("serve_chunk_decodes = %d, want 1", snap.Counter("serve_chunk_decodes", ""))
+	}
+}
+
+// TestServeConcurrentRandomChunks drives 32 clients over random chunks and
+// checks every response against the serial baseline, while the cache stays
+// within its budget.
+func TestServeConcurrentRandomChunks(t *testing.T) {
+	a := buildArchive(t, 3)
+	want := make([][]byte, a.NumChunks())
+	for i := range want {
+		want[i] = wantChunkBody(t, a, i)
+	}
+	// Budget of ~1.5 chunks forces eviction churn under concurrency.
+	s := New(a, Options{CacheBytes: int64(len(want[0])) * 3 / 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				i := (c + j) % a.NumChunks()
+				status, body := get(t, ts.Client(), fmt.Sprintf("%s/v1/chunks/%d", ts.URL, i))
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("client %d chunk %d: status %d", c, i, status)
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					errs <- fmt.Errorf("client %d chunk %d: body differs", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cost := s.CacheStats().Cost; cost > int64(len(want[0]))*3/2 {
+		t.Fatalf("cache cost %d exceeds budget", cost)
+	}
+}
+
+// TestCacheEvictionRefetches: with a cache that holds one chunk, serving
+// A, B, A decodes A twice — eviction is observable through the decode
+// counter — yet responses stay correct.
+func TestCacheEvictionRefetches(t *testing.T) {
+	a := buildArchive(t, 2)
+	want0 := wantChunkBody(t, a, 0)
+	s := New(a, Options{CacheBytes: int64(len(want0)) + 16}) // fits one chunk
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, i := range []int{0, 1, 0} {
+		status, body := get(t, ts.Client(), fmt.Sprintf("%s/v1/chunks/%d", ts.URL, i))
+		if status != http.StatusOK {
+			t.Fatalf("chunk %d: status %d", i, status)
+		}
+		if i == 0 && !bytes.Equal(body, want0) {
+			t.Fatalf("chunk 0 body differs after eviction round trip")
+		}
+	}
+	cs := s.CacheStats()
+	if cs.Loads != 3 {
+		t.Fatalf("A,B,A with a one-chunk cache: %d loads, want 3 (A evicted by B)", cs.Loads)
+	}
+	if cs.Evictions == 0 {
+		t.Fatal("expected at least one eviction")
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	a := buildArchive(t, 2)
+	s := New(a, Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+
+	url := "http://" + l.Addr().String()
+	status, _ := get(t, http.DefaultClient, url+"/v1/chunks/0")
+	if status != http.StatusOK {
+		t.Fatalf("chunk 0: status %d", status)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within 5s")
+	}
+	// The listener is really gone.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestErrorMapping pins the typed-error → status translation.
+func TestErrorMapping(t *testing.T) {
+	a := buildArchive(t, 2)
+	s := New(a, Options{})
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("x: %w", store.ErrChunkNotFound), http.StatusNotFound},
+		{fmt.Errorf("x: %w", store.ErrArchiveClosed), http.StatusServiceUnavailable},
+		{fmt.Errorf("x: %w", store.ErrCorruptRecord), http.StatusInternalServerError},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable},
+		{errors.New("opaque"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, tc.err)
+		if rec.Code != tc.want {
+			t.Fatalf("%v -> %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+	// A hung-up client produces no write at all.
+	rec := httptest.NewRecorder()
+	s.writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, context.Canceled)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("canceled request must not write a body, got %q", rec.Body.String())
+	}
+}
+
+// TestClosedArchive503: closing the archive under a live server turns
+// chunk requests into 503s rather than panics or hangs.
+func TestClosedArchive503(t *testing.T) {
+	a := buildArchive(t, 2)
+	s := New(a, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status, _ := get(t, ts.Client(), ts.URL+"/v1/chunks/0")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("closed archive served status %d, want 503", status)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"videoapp/internal/codec"
 	"videoapp/internal/core"
@@ -78,7 +80,7 @@ func NewChunkWriter(w io.Writer, meta ArchiveMeta) (*ChunkWriter, error) {
 	if meta.W <= 0 || meta.H <= 0 || meta.GOPSize < 1 || meta.GOPsPerChunk < 1 {
 		return nil, fmt.Errorf("store: invalid archive meta %+v", meta)
 	}
-	hdr := make([]byte, 0, 25)
+	hdr := make([]byte, 0, archiveHeaderLen)
 	hdr = append(hdr, chunkedMagic[:]...)
 	hdr = append(hdr, chunkedVersion)
 	hdr = appendU32(hdr, uint32(meta.W))
@@ -179,29 +181,43 @@ type streamRec struct {
 	bytes int64
 }
 
-// ChunkArchive is the random-access reader over a chunked container. Open
-// builds the index from the record headers alone — payload bytes are seeked
-// over, never read — and ReadChunk then touches exactly one chunk's bytes.
+// ChunkArchive is the random-access reader over a chunked container,
+// backed by an io.ReaderAt so that it is safe for unbounded concurrent use:
+// OpenChunkArchiveAt builds the index from the record headers alone —
+// payload bytes are hopped over, never read — and ReadChunk then touches
+// exactly one chunk's bytes through a private section reader, sharing no
+// cursor with other readers. Every method except Close may be called from
+// any number of goroutines simultaneously.
 type ChunkArchive struct {
-	r    io.ReadSeeker
-	meta ArchiveMeta
-	recs []chunkRec
+	r      io.ReaderAt
+	meta   ArchiveMeta
+	recs   []chunkRec
+	closed atomic.Bool
 }
 
-// OpenChunkArchive indexes a container produced by ChunkWriter.
-func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("store: seeking archive start: %w", err)
-	}
-	var hdr [25]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// archiveHeaderLen is the fixed container header size (magic, version and
+// the five ArchiveMeta fields).
+const archiveHeaderLen = 25
+
+// OpenChunkArchiveAt indexes a container produced by ChunkWriter. The
+// returned archive performs all reads through r's positionless ReadAt, so
+// concurrent ReadChunk calls never contend on a seek cursor. Structural
+// damage — a zero-length or truncated file, bad magic, a damaged chunk
+// header — is reported as an error wrapping ErrCorruptRecord; underlying
+// I/O failures are wrapped with %w and match with errors.Is.
+func OpenChunkArchiveAt(r io.ReaderAt) (*ChunkArchive, error) {
+	var hdr [archiveHeaderLen]byte
+	if n, err := r.ReadAt(hdr[:], 0); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("store: %w: archive header truncated at %d of %d bytes", ErrCorruptRecord, n, len(hdr))
+		}
 		return nil, fmt.Errorf("store: reading archive header: %w", err)
 	}
 	if [4]byte(hdr[:4]) != chunkedMagic {
-		return nil, fmt.Errorf("store: bad archive magic")
+		return nil, fmt.Errorf("store: %w: bad archive magic", ErrCorruptRecord)
 	}
 	if hdr[4] != chunkedVersion {
-		return nil, fmt.Errorf("store: unsupported archive version %d", hdr[4])
+		return nil, fmt.Errorf("store: %w: unsupported archive version %d", ErrCorruptRecord, hdr[4])
 	}
 	a := &ChunkArchive{r: r}
 	a.meta = ArchiveMeta{
@@ -212,12 +228,12 @@ func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
 		GOPsPerChunk: int(binary.BigEndian.Uint32(hdr[21:25])),
 	}
 	if a.meta.W <= 0 || a.meta.H <= 0 || a.meta.GOPSize < 1 || a.meta.GOPsPerChunk < 1 {
-		return nil, fmt.Errorf("store: invalid archive meta %+v", a.meta)
+		return nil, fmt.Errorf("store: %w: invalid archive meta %+v", ErrCorruptRecord, a.meta)
 	}
 	off := int64(len(hdr))
 	frames := 0
 	for {
-		rec, next, err := readChunkHeader(a.r, off)
+		rec, next, err := readChunkHeader(r, off)
 		if err == io.EOF {
 			break
 		}
@@ -226,7 +242,7 @@ func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
 		}
 		rec.info.Index = len(a.recs)
 		if rec.info.FirstFrame != frames {
-			return nil, fmt.Errorf("store: chunk %d starts at frame %d, want %d", rec.info.Index, rec.info.FirstFrame, frames)
+			return nil, fmt.Errorf("store: %w: chunk %d starts at frame %d, want %d", ErrCorruptRecord, rec.info.Index, rec.info.FirstFrame, frames)
 		}
 		frames += rec.info.Frames
 		a.recs = append(a.recs, rec)
@@ -235,23 +251,63 @@ func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
 	return a, nil
 }
 
+// OpenChunkArchive indexes a container through a seek-cursor reader. If r
+// also implements io.ReaderAt (os.File, bytes.Reader do) it is used
+// directly; otherwise reads are serialized behind a mutex-guarded
+// seek-and-read adapter, so concurrent ReadChunk calls remain correct but
+// lose their parallelism.
+//
+// Deprecated: use OpenChunkArchiveAt, which serves parallel readers without
+// any serialization.
+func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
+	if ra, ok := r.(io.ReaderAt); ok {
+		return OpenChunkArchiveAt(ra)
+	}
+	return OpenChunkArchiveAt(&seekerAt{r: r})
+}
+
+// seekerAt adapts a bare io.ReadSeeker to io.ReaderAt by serializing
+// seek+read pairs behind a mutex. It exists only for OpenChunkArchive
+// compatibility; native ReaderAt implementations never pay this lock.
+type seekerAt struct {
+	mu sync.Mutex
+	r  io.ReadSeeker
+}
+
+func (s *seekerAt) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.r.Seek(off, io.SeekStart); err != nil {
+		return 0, err
+	}
+	n, err := io.ReadFull(s.r, p)
+	if err == io.ErrUnexpectedEOF {
+		// The io.ReaderAt contract reports a short read at end of data
+		// as io.EOF.
+		err = io.EOF
+	}
+	return n, err
+}
+
 // readChunkHeader parses one record header at off, returning the index entry
 // and the offset of the next record. It reads only the header bytes; the
-// payload is skipped with a relative seek. io.EOF reports a clean end of
-// the container.
-func readChunkHeader(r io.ReadSeeker, off int64) (chunkRec, int64, error) {
-	if _, err := r.Seek(off, io.SeekStart); err != nil {
-		return chunkRec{}, 0, fmt.Errorf("store: seeking chunk header: %w", err)
-	}
+// payload is hopped over by offset arithmetic. io.EOF reports a clean end of
+// the container; any partial header is ErrCorruptRecord.
+func readChunkHeader(r io.ReaderAt, off int64) (chunkRec, int64, error) {
+	// A chunk header is at most 21 fixed bytes plus 255 stream entries of at
+	// most 268 bytes each; the section reader bounds what one record may
+	// consume without ever touching payload ranges (entries are read
+	// front-to-back and sized before each read).
+	sr := io.NewSectionReader(r, off, 21+255*(1+255+12))
 	var fixed [21]byte
-	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+	if _, err := io.ReadFull(sr, fixed[:]); err != nil {
 		if err == io.EOF {
 			return chunkRec{}, 0, io.EOF
 		}
-		return chunkRec{}, 0, fmt.Errorf("store: truncated chunk header: %w", err)
+		return chunkRec{}, 0, fmt.Errorf("store: %w: truncated chunk header at offset %d: %w", ErrCorruptRecord, off, err)
 	}
 	if [4]byte(fixed[:4]) != chunkMarker {
-		return chunkRec{}, 0, fmt.Errorf("store: bad chunk marker at offset %d", off)
+		return chunkRec{}, 0, fmt.Errorf("store: %w: bad chunk marker at offset %d", ErrCorruptRecord, off)
 	}
 	rec := chunkRec{
 		info: ChunkInfo{
@@ -262,32 +318,32 @@ func readChunkHeader(r io.ReadSeeker, off int64) (chunkRec, int64, error) {
 		pivotLen:   int64(binary.BigEndian.Uint32(fixed[16:20])),
 	}
 	if rec.info.Frames < 1 || rec.info.Frames > 1<<20 {
-		return chunkRec{}, 0, fmt.Errorf("store: implausible chunk frame count %d", rec.info.Frames)
+		return chunkRec{}, 0, fmt.Errorf("store: %w: implausible chunk frame count %d", ErrCorruptRecord, rec.info.Frames)
 	}
 	nStreams := int(fixed[20])
 	hdrLen := int64(len(fixed))
 	payload := rec.preciseLen + rec.pivotLen
 	for s := 0; s < nStreams; s++ {
 		var nameLen [1]byte
-		if _, err := io.ReadFull(r, nameLen[:]); err != nil {
-			return chunkRec{}, 0, fmt.Errorf("store: truncated stream entry: %w", err)
+		if _, err := io.ReadFull(sr, nameLen[:]); err != nil {
+			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
 		}
 		entry := make([]byte, int(nameLen[0])+12)
-		if _, err := io.ReadFull(r, entry); err != nil {
-			return chunkRec{}, 0, fmt.Errorf("store: truncated stream entry: %w", err)
+		if _, err := io.ReadFull(sr, entry); err != nil {
+			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
 		}
 		name := string(entry[:nameLen[0]])
-		sr := streamRec{
+		rs := streamRec{
 			name:  name,
 			bits:  int64(binary.BigEndian.Uint64(entry[nameLen[0] : nameLen[0]+8])),
 			bytes: int64(binary.BigEndian.Uint32(entry[nameLen[0]+8:])),
 		}
-		if sr.bits < 0 || sr.bytes < 0 || sr.bits > sr.bytes*8 {
-			return chunkRec{}, 0, fmt.Errorf("store: stream %q: %d bits in %d bytes", name, sr.bits, sr.bytes)
+		if rs.bits < 0 || rs.bytes < 0 || rs.bits > rs.bytes*8 {
+			return chunkRec{}, 0, fmt.Errorf("store: %w: stream %q: %d bits in %d bytes", ErrCorruptRecord, name, rs.bits, rs.bytes)
 		}
-		rec.streams = append(rec.streams, sr)
+		rec.streams = append(rec.streams, rs)
 		hdrLen += 1 + int64(len(entry))
-		payload += sr.bytes
+		payload += rs.bytes
 	}
 	rec.info.Offset = off + hdrLen
 	rec.info.Length = payload
@@ -309,58 +365,73 @@ func (a *ChunkArchive) TotalFrames() int {
 	return n
 }
 
-// Info returns the location of chunk i.
+// Info returns the location of chunk i. Unknown indices report an error
+// wrapping ErrChunkNotFound.
 func (a *ChunkArchive) Info(i int) (ChunkInfo, error) {
 	if i < 0 || i >= len(a.recs) {
-		return ChunkInfo{}, fmt.Errorf("store: chunk %d outside 0..%d", i, len(a.recs)-1)
+		return ChunkInfo{}, fmt.Errorf("store: %w: chunk %d outside 0..%d", ErrChunkNotFound, i, len(a.recs)-1)
 	}
 	return a.recs[i].info, nil
+}
+
+// Close marks the archive closed: subsequent Info and ReadChunk calls fail
+// with an error wrapping ErrArchiveClosed. The underlying reader belongs to
+// the caller and is not touched — close it separately once Close returns
+// and in-flight reads have drained. Close is idempotent.
+func (a *ChunkArchive) Close() error {
+	a.closed.Store(true)
+	return nil
 }
 
 // ReadChunk reads and reassembles chunk i: the returned video carries
 // chunk-local frame indices (its first frame is index 0) and decodes on its
 // own, because chunk boundaries are closed-GOP boundaries. Exactly the
 // chunk's payload byte range [Info(i).Offset, +Length) is read — other
-// chunks' bytes are never touched.
+// chunks' bytes are never touched. ReadChunk is lock-free and safe to call
+// from any number of goroutines: each call reads through its own section
+// reader over the shared io.ReaderAt. Unknown indices report
+// ErrChunkNotFound, reads after Close report ErrArchiveClosed, and damaged
+// payloads report ErrCorruptRecord; all are matched with errors.Is.
 func (a *ChunkArchive) ReadChunk(i int) (*codec.Video, []core.FramePartition, error) {
+	if a.closed.Load() {
+		return nil, nil, fmt.Errorf("store: reading chunk %d: %w", i, ErrArchiveClosed)
+	}
 	if i < 0 || i >= len(a.recs) {
-		return nil, nil, fmt.Errorf("store: chunk %d outside 0..%d", i, len(a.recs)-1)
+		return nil, nil, fmt.Errorf("store: %w: chunk %d outside 0..%d", ErrChunkNotFound, i, len(a.recs)-1)
 	}
 	rec := a.recs[i]
-	if _, err := a.r.Seek(rec.info.Offset, io.SeekStart); err != nil {
-		return nil, nil, fmt.Errorf("store: seeking chunk %d: %w", i, err)
-	}
+	r := io.NewSectionReader(a.r, rec.info.Offset, rec.info.Length)
 	precise := make([]byte, rec.preciseLen)
-	if _, err := io.ReadFull(a.r, precise); err != nil {
+	if _, err := io.ReadFull(r, precise); err != nil {
 		return nil, nil, fmt.Errorf("store: chunk %d precise region: %w", i, err)
 	}
 	pivots := make([]byte, rec.pivotLen)
-	if _, err := io.ReadFull(a.r, pivots); err != nil {
+	if _, err := io.ReadFull(r, pivots); err != nil {
 		return nil, nil, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
 	}
 	v, err := codec.UnmarshalPrecise(precise)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: chunk %d precise region: %w", i, err)
+		return nil, nil, fmt.Errorf("store: %w: chunk %d precise region: %w", ErrCorruptRecord, i, err)
 	}
 	parts, err := core.UnmarshalPartitions(pivots)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
+		return nil, nil, fmt.Errorf("store: %w: chunk %d pivot tables: %w", ErrCorruptRecord, i, err)
 	}
 	if len(parts) != len(v.Frames) {
-		return nil, nil, fmt.Errorf("store: chunk %d: %d pivot tables for %d frames", i, len(parts), len(v.Frames))
+		return nil, nil, fmt.Errorf("store: %w: chunk %d: %d pivot tables for %d frames", ErrCorruptRecord, i, len(parts), len(v.Frames))
 	}
 	ss := &core.StreamSet{Parts: parts, Streams: map[string][]byte{}, Bits: map[string]int64{}}
-	for _, sr := range rec.streams {
-		data := make([]byte, sr.bytes)
-		if _, err := io.ReadFull(a.r, data); err != nil {
-			return nil, nil, fmt.Errorf("store: chunk %d stream %q: %w", i, sr.name, err)
+	for _, rs := range rec.streams {
+		data := make([]byte, rs.bytes)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, nil, fmt.Errorf("store: chunk %d stream %q: %w", i, rs.name, err)
 		}
-		ss.Streams[sr.name] = data
-		ss.Bits[sr.name] = sr.bits
+		ss.Streams[rs.name] = data
+		ss.Bits[rs.name] = rs.bits
 	}
 	merged, err := ss.Merge(v)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: chunk %d: %w", i, err)
+		return nil, nil, fmt.Errorf("store: %w: chunk %d: %w", ErrCorruptRecord, i, err)
 	}
 	return merged, parts, nil
 }
@@ -373,7 +444,7 @@ func AppendChunkWriter(rw io.ReadWriteSeeker) (*ChunkWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	end := int64(25)
+	end := int64(archiveHeaderLen)
 	if n := len(a.recs); n > 0 {
 		last := a.recs[n-1].info
 		end = last.Offset + last.Length

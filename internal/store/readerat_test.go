@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildArchiveBytes writes a small multi-chunk archive into memory and
+// returns its bytes alongside the chunk-local source videos.
+func buildArchiveBytes(t testing.TB, gops int) ([]byte, [][]byte) {
+	t.Helper()
+	v, chunks, chunkParts := buildChunkedVideo(t, gops)
+	var buf bytes.Buffer
+	cw, err := NewChunkWriter(&buf, ArchiveMeta{W: v.W, H: v.H, FPS: v.FPS, GOPSize: v.Params.GOPSize, GOPsPerChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeChunks(t, cw, chunks, chunkParts, 0)
+	var payloads [][]byte
+	for _, c := range chunks {
+		var frames []byte
+		for _, f := range c.Frames {
+			frames = append(frames, f.Payload...)
+		}
+		payloads = append(payloads, frames)
+	}
+	return buf.Bytes(), payloads
+}
+
+// TestConcurrentReadChunkBitIdentical pins the tentpole guarantee of the
+// ReaderAt read path: N goroutines reading all M chunks in shuffled orders
+// see frames bit-identical to a serial reader, with no locking and (under
+// -race) no data races.
+func TestConcurrentReadChunkBitIdentical(t *testing.T) {
+	data, _ := buildArchiveBytes(t, 4)
+	a, err := OpenChunkArchiveAt(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial baseline: the reference payload bytes of every chunk.
+	want := make([][][]byte, a.NumChunks())
+	for i := range want {
+		v, _, err := a.ReadChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range v.Frames {
+			want[i] = append(want[i], f.Payload)
+		}
+	}
+
+	const readers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			order := rng.Perm(a.NumChunks())
+			for _, i := range order {
+				v, parts, err := a.ReadChunk(i)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d chunk %d: %w", g, i, err)
+					return
+				}
+				if len(parts) != len(v.Frames) {
+					errs <- fmt.Errorf("reader %d chunk %d: %d parts for %d frames", g, i, len(parts), len(v.Frames))
+					return
+				}
+				for f := range v.Frames {
+					if !bytes.Equal(v.Frames[f].Payload, want[i][f]) {
+						errs <- fmt.Errorf("reader %d chunk %d frame %d: payload differs from serial read", g, i, f)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenArchiveTypedErrors(t *testing.T) {
+	data, _ := buildArchiveBytes(t, 2)
+
+	t.Run("zero-length file", func(t *testing.T) {
+		_, err := OpenChunkArchiveAt(bytes.NewReader(nil))
+		if !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("want ErrCorruptRecord, got %v", err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("raw io.EOF must not surface: %v", err)
+		}
+	})
+	t.Run("truncated stream header", func(t *testing.T) {
+		_, err := OpenChunkArchiveAt(bytes.NewReader(data[:10]))
+		if !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("want ErrCorruptRecord, got %v", err)
+		}
+	})
+	t.Run("truncated chunk index", func(t *testing.T) {
+		// Cut inside the first chunk record's header (just past the
+		// stream header) so the index scan hits a partial record.
+		_, err := OpenChunkArchiveAt(bytes.NewReader(data[:archiveHeaderLen+10]))
+		if !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("want ErrCorruptRecord, got %v", err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("raw io.EOF must not surface: %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[0] ^= 0xFF
+		_, err := OpenChunkArchiveAt(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("want ErrCorruptRecord, got %v", err)
+		}
+	})
+	t.Run("chunk not found", func(t *testing.T) {
+		a, err := OpenChunkArchiveAt(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.ReadChunk(99); !errors.Is(err, ErrChunkNotFound) {
+			t.Fatalf("ReadChunk(99): want ErrChunkNotFound, got %v", err)
+		}
+		if _, _, err := a.ReadChunk(-1); !errors.Is(err, ErrChunkNotFound) {
+			t.Fatalf("ReadChunk(-1): want ErrChunkNotFound, got %v", err)
+		}
+		if _, err := a.Info(99); !errors.Is(err, ErrChunkNotFound) {
+			t.Fatalf("Info(99): want ErrChunkNotFound, got %v", err)
+		}
+	})
+	t.Run("archive closed", func(t *testing.T) {
+		a, err := OpenChunkArchiveAt(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("Close must be idempotent: %v", err)
+		}
+		if _, _, err := a.ReadChunk(0); !errors.Is(err, ErrArchiveClosed) {
+			t.Fatalf("want ErrArchiveClosed, got %v", err)
+		}
+	})
+}
+
+// trackingReaderAt records every byte range fetched through ReadAt.
+type trackingReaderAt struct {
+	r  *bytes.Reader
+	mu sync.Mutex
+	// reads holds [start, end) ranges in call order.
+	reads [][2]int64
+}
+
+func (tr *trackingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := tr.r.ReadAt(p, off)
+	if n > 0 {
+		tr.mu.Lock()
+		tr.reads = append(tr.reads, [2]int64{off, off + int64(n)})
+		tr.mu.Unlock()
+	}
+	return n, err
+}
+
+// TestReaderAtReadChunkLocality re-pins the random-access guarantee on the
+// native ReaderAt path: indexing reads no payload bytes, and ReadChunk(i)
+// reads exclusively inside chunk i's payload range.
+func TestReaderAtReadChunkLocality(t *testing.T) {
+	data, _ := buildArchiveBytes(t, 3)
+	tr := &trackingReaderAt{r: bytes.NewReader(data)}
+	a, err := OpenChunkArchiveAt(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) (int64, int64) {
+		info, err := a.Info(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Offset, info.Offset + info.Length
+	}
+	for i := 0; i < a.NumChunks(); i++ {
+		lo, hi := payload(i)
+		for _, rd := range tr.reads {
+			if rd[0] < hi && rd[1] > lo {
+				t.Fatalf("Open read [%d,%d) inside chunk %d payload [%d,%d)", rd[0], rd[1], i, lo, hi)
+			}
+		}
+	}
+	tr.reads = nil
+	if _, _, err := a.ReadChunk(1); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := payload(1)
+	if len(tr.reads) == 0 {
+		t.Fatal("ReadChunk read nothing")
+	}
+	for _, rd := range tr.reads {
+		if rd[0] < lo || rd[1] > hi {
+			t.Fatalf("ReadChunk(1) read [%d,%d) outside its payload [%d,%d)", rd[0], rd[1], lo, hi)
+		}
+	}
+}

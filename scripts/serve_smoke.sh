@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the chunk server: build the CLI,
+# archive a synthetic video, start `videoapp serve` on an ephemeral port,
+# fetch the index and one decoded chunk (asserting HTTP 200 and sane
+# bodies), then SIGINT the server and require a clean drained exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fetch() { # fetch URL OUT — fails on non-2xx
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -o "$2" "$1"
+    else
+        wget -q -O "$2" "$1"
+    fi
+}
+
+echo "== build"
+$GO build -o "$tmp/videoapp" ./cmd/videoapp
+
+echo "== archive"
+"$tmp/videoapp" -frames 16 -gop 4 -w 96 -h 64 -chunk-gops 1 -o "$tmp/t.vacs" archive
+
+echo "== serve"
+"$tmp/videoapp" -archive "$tmp/t.vacs" -addr 127.0.0.1:0 serve >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's#^serving .* on \(http://[^ ]*\)$#\1#p' "$tmp/serve.log" | head -n 1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$tmp/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "server never reported its address:"; cat "$tmp/serve.log"; exit 1; }
+echo "   up at $url"
+
+echo "== index"
+fetch "$url/v1/archive" "$tmp/index.json"
+grep -q '"chunks":4' "$tmp/index.json" || { echo "unexpected index:"; cat "$tmp/index.json"; exit 1; }
+
+echo "== chunk 0"
+fetch "$url/v1/chunks/0" "$tmp/chunk0.y4m"
+head -c 9 "$tmp/chunk0.y4m" | grep -q 'YUV4MPEG' || { echo "chunk 0 is not y4m"; exit 1; }
+[ "$(wc -c <"$tmp/chunk0.y4m")" -gt 1000 ] || { echo "chunk 0 implausibly small"; exit 1; }
+
+echo "== metrics"
+fetch "$url/metrics" "$tmp/metrics.txt"
+grep -q 'serve_chunk_decodes' "$tmp/metrics.txt" || { echo "metrics missing decode counter"; exit 1; }
+
+echo "== shutdown"
+kill -INT "$pid"
+if ! wait "$pid"; then
+    echo "server exited non-zero:"; cat "$tmp/serve.log"; exit 1
+fi
+grep -q 'server drained' "$tmp/serve.log" || { echo "no drained message:"; cat "$tmp/serve.log"; exit 1; }
+pid=""
+echo "serve smoke OK"

@@ -16,6 +16,7 @@ import (
 	"videoapp/internal/codec"
 	"videoapp/internal/core"
 	"videoapp/internal/obs"
+	"videoapp/internal/serve"
 	"videoapp/internal/store"
 )
 
@@ -31,8 +32,28 @@ type (
 	ChunkInfo = store.ChunkInfo
 	// ChunkWriter appends processed chunks to a chunked archive.
 	ChunkWriter = store.ChunkWriter
-	// ChunkArchive is a random-access reader over a chunked archive.
+	// ChunkArchive is a lock-free random-access reader over a chunked
+	// archive; ReadChunk is safe for any number of concurrent readers.
 	ChunkArchive = store.ChunkArchive
+	// ChunkServer is the HTTP read path over one archive: decoded chunk
+	// frames, per-chunk metadata, the archive index and a metrics snapshot,
+	// fronted by a sized LRU decoded-chunk cache with request coalescing.
+	// See the internal/serve package documentation for the endpoints.
+	ChunkServer = serve.Server
+	// ServeOptions configures a ChunkServer (cache budget, decoder
+	// workers, request timeout, drain timeout, extra observer).
+	ServeOptions = serve.Options
+)
+
+// Typed sentinel errors of the archive read path; match with errors.Is.
+var (
+	// ErrChunkNotFound reports a chunk index outside the archive.
+	ErrChunkNotFound = store.ErrChunkNotFound
+	// ErrCorruptRecord reports a structurally damaged archive: bad magic,
+	// a zero-length or truncated file, or a corrupt chunk record.
+	ErrCorruptRecord = store.ErrCorruptRecord
+	// ErrArchiveClosed reports a read attempted after ChunkArchive.Close.
+	ErrArchiveClosed = store.ErrArchiveClosed
 )
 
 // SequenceSource adapts an in-memory sequence to a ChunkSource. It does not
@@ -47,9 +68,30 @@ func Y4MSource(r io.Reader, name string) (ChunkSource, error) { return chunk.Fro
 
 // OpenArchive indexes a chunked archive for random access. Only the
 // stream header and the fixed-size per-chunk records are read — every
-// chunk's payload is skipped with a seek, so opening a large archive is
-// O(chunks), not O(bytes).
-func OpenArchive(r io.ReadSeeker) (*ChunkArchive, error) { return store.OpenChunkArchive(r) }
+// chunk's payload is hopped over, so opening a large archive is O(chunks),
+// not O(bytes). The archive reads exclusively through r's positionless
+// ReadAt, which makes ReadChunk lock-free and safe for any number of
+// concurrent readers (os.File and bytes.Reader both qualify). Zero-length
+// or truncated inputs return an error wrapping ErrCorruptRecord.
+func OpenArchive(r io.ReaderAt) (*ChunkArchive, error) { return store.OpenChunkArchiveAt(r) }
+
+// OpenArchiveSeeker indexes a chunked archive through a seek-cursor
+// reader. When r does not also implement io.ReaderAt, every read is
+// serialized behind a lock, so concurrent ReadChunk calls lose their
+// parallelism.
+//
+// Deprecated: use OpenArchive with an io.ReaderAt.
+func OpenArchiveSeeker(r io.ReadSeeker) (*ChunkArchive, error) { return store.OpenChunkArchive(r) }
+
+// NewChunkServer returns the HTTP serving layer over an opened archive:
+// GET /v1/archive (index), /v1/chunks/{i} (decoded frames as YUV4MPEG2),
+// /v1/chunks/{i}/meta, /metrics and /healthz. Decoded chunks are cached in
+// a sized LRU and cold-chunk decodes are coalesced, so a hot chunk is
+// decoded exactly once however many clients stampede it. Run it with
+// ChunkServer.Serve (graceful drain on context cancellation) or mount
+// ChunkServer.Handler under your own http.Server. The archive must outlive
+// the server.
+func NewChunkServer(a *ChunkArchive, opts ServeOptions) *ChunkServer { return serve.New(a, opts) }
 
 // AppendArchive reopens an existing chunked archive for appending more
 // chunks (append-on-write: earlier bytes are never rewritten).

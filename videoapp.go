@@ -26,8 +26,17 @@
 // guaranteed identical at every worker count: parallel decode/analyze/
 // footprint/measure are bit-identical to their serial counterparts, and the
 // seeded storage round trip is a pure function of (video, partitions,
-// seed). Long-running calls have *Context variants with cooperative
-// cancellation checked at frame boundaries.
+// seed). The canonical subsystem entry points are context-first
+// (EncodeContext, DecodeContext, AnalyzeContext, MeasureContext) with
+// cooperative cancellation checked at frame boundaries; the context-free
+// and *Parallel names remain as deprecated thin wrappers.
+//
+// # Serving
+//
+// The read path of an archived video is OpenArchive (lock-free concurrent
+// ReadChunk over an io.ReaderAt) fronted by NewChunkServer, an HTTP server
+// with a sized LRU decoded-chunk cache and request coalescing; see
+// stream.go and the internal/serve package documentation.
 //
 // The underlying subsystems are exposed as type aliases so that advanced
 // users can drive them directly: the codec (Encode/Decode), the analysis
@@ -160,19 +169,12 @@ const (
 // (CRF 24, CABAC, no B frames).
 func DefaultParams() Params { return codec.DefaultParams() }
 
-// Encode compresses a raw sequence.
-func Encode(seq *Sequence, p Params) (*Video, error) { return codec.Encode(seq, p) }
-
-// EncodeParallel encodes GOPs concurrently (closed GOPs only, BFrames == 0)
-// and produces output bit-identical to Encode. workers <= 0 uses GOMAXPROCS.
-func EncodeParallel(seq *Sequence, p Params, workers int) (*Video, error) {
-	return codec.EncodeParallel(seq, p, workers)
-}
-
-// EncodeContext encodes with GOP-level parallelism and cooperative
-// cancellation checked at GOP boundaries. Output is bit-identical to Encode.
-// Open-GOP configurations (BFrames > 0) fall back to the serial encoder,
-// which is not cancellable mid-video.
+// EncodeContext is the canonical encode entry point: it compresses a raw
+// sequence with GOP-level parallelism (workers <= 0 selects GOMAXPROCS) and
+// cooperative cancellation checked at GOP boundaries. Output is
+// bit-identical at every worker count. Open-GOP configurations
+// (BFrames > 0) fall back to the serial encoder, which is not cancellable
+// mid-video.
 func EncodeContext(ctx context.Context, seq *Sequence, p Params, workers int) (*Video, error) {
 	if p.BFrames != 0 {
 		return codec.Encode(seq, p)
@@ -180,31 +182,69 @@ func EncodeContext(ctx context.Context, seq *Sequence, p Params, workers int) (*
 	return codec.EncodeParallelContext(ctx, seq, p, workers)
 }
 
-// Decode reconstructs the display-order sequence; it is error-resilient and
-// never fails on corrupted payloads.
-func Decode(v *Video) (*Sequence, error) { return codec.Decode(v) }
-
-// DecodeParallel decodes independent closed-GOP spans concurrently; output
-// is bit- and pixel-identical to Decode for any input, including corrupted
-// payloads. workers <= 0 uses GOMAXPROCS.
-func DecodeParallel(v *Video, workers int) (*Sequence, error) {
-	return codec.DecodeParallel(v, workers)
+// Encode compresses a raw sequence serially.
+//
+// Deprecated: use EncodeContext, whose output is bit-identical at every
+// worker count; Encode remains as a thin wrapper over it.
+func Encode(seq *Sequence, p Params) (*Video, error) {
+	return EncodeContext(context.Background(), seq, p, 1)
 }
 
-// DecodeContext is DecodeParallel with cooperative cancellation checked at
-// frame boundaries.
+// EncodeParallel encodes GOPs concurrently with output bit-identical to
+// Encode.
+//
+// Deprecated: use EncodeContext, which adds cooperative cancellation on
+// top of the same GOP-parallel encoder.
+func EncodeParallel(seq *Sequence, p Params, workers int) (*Video, error) {
+	return EncodeContext(context.Background(), seq, p, workers)
+}
+
+// DecodeContext is the canonical decode entry point: it reconstructs the
+// display-order sequence over independent closed-GOP spans concurrently
+// (workers <= 0 selects GOMAXPROCS) with cooperative cancellation checked
+// at frame boundaries. It is error-resilient — corrupted payloads never
+// fail, they decode to damaged pictures — and its output is bit- and
+// pixel-identical at every worker count.
 func DecodeContext(ctx context.Context, v *Video, workers int) (*Sequence, error) {
 	return codec.DecodeContext(ctx, v, codec.DecodeOptions{}, workers)
 }
 
-// Analyze computes per-macroblock importance (§4.3).
-func Analyze(v *Video) *Analysis { return core.Analyze(v, core.DefaultOptions()) }
+// Decode reconstructs the display-order sequence serially.
+//
+// Deprecated: use DecodeContext, whose output is bit-identical at every
+// worker count; Decode remains as a thin wrapper over it.
+func Decode(v *Video) (*Sequence, error) {
+	return DecodeContext(context.Background(), v, 1)
+}
 
-// AnalyzeContext is Analyze with fan-out over independent spans of the
-// dependency DAG and cooperative cancellation; the result is bit-identical
-// to Analyze at every worker count.
+// DecodeParallel decodes independent closed-GOP spans concurrently.
+//
+// Deprecated: use DecodeContext, which adds cooperative cancellation on
+// top of the same span-parallel decoder.
+func DecodeParallel(v *Video, workers int) (*Sequence, error) {
+	return DecodeContext(context.Background(), v, workers)
+}
+
+// AnalyzeContext is the canonical analysis entry point: it computes the
+// per-macroblock importance map (§4.3) with fan-out over independent spans
+// of the dependency DAG (workers <= 0 selects GOMAXPROCS) and cooperative
+// cancellation; the result is bit-identical at every worker count.
 func AnalyzeContext(ctx context.Context, v *Video, workers int) (*Analysis, error) {
 	return core.AnalyzeContext(ctx, v, core.DefaultOptions(), workers)
+}
+
+// Analyze computes per-macroblock importance (§4.3) serially.
+//
+// Deprecated: use AnalyzeContext, whose result is bit-identical at every
+// worker count; Analyze remains as a thin wrapper over it.
+func Analyze(v *Video) *Analysis {
+	an, err := AnalyzeContext(context.Background(), v, 1)
+	if err != nil {
+		// Unreachable: the only failure mode is context cancellation, and
+		// the background context never cancels.
+		panic(err)
+	}
+	return an
 }
 
 // PaperAssignment returns Table 1's importance-class → scheme mapping.
@@ -238,13 +278,21 @@ func Unmarshal(data []byte) (*Video, error) { return codec.Unmarshal(data) }
 // encoded itself).
 func Reanalyze(v *Video) error { return codec.Reanalyze(v) }
 
-// Measure computes all quality metrics between two sequences.
-func Measure(ref, dist *Sequence) (QualityReport, error) { return quality.Measure(ref, dist) }
-
-// MeasureContext is Measure with per-frame metric workers and cooperative
-// cancellation; the result is identical to Measure at every worker count.
+// MeasureContext is the canonical quality-measurement entry point: it
+// computes all quality metrics (PSNR, SSIM, MS-SSIM, VIF) between two
+// sequences with per-frame metric workers (workers <= 0 selects GOMAXPROCS)
+// and cooperative cancellation; the result is identical at every worker
+// count.
 func MeasureContext(ctx context.Context, ref, dist *Sequence, workers int) (QualityReport, error) {
 	return quality.MeasureContext(ctx, ref, dist, workers)
+}
+
+// Measure computes all quality metrics between two sequences serially.
+//
+// Deprecated: use MeasureContext, whose result is identical at every
+// worker count; Measure remains as a thin wrapper over it.
+func Measure(ref, dist *Sequence) (QualityReport, error) {
+	return MeasureContext(context.Background(), ref, dist, 1)
 }
 
 // PSNR computes the average luma PSNR between two sequences.
