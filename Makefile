@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke fmt vet
+.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke chaos-smoke fmt vet
 
 # check is the full verification gate: vet, build, race-enabled tests, a
 # one-iteration compile-and-run pass over every benchmark so the perf harness
-# cannot rot, and an end-to-end smoke of the chunk server. Tests run shuffled
-# so inter-test ordering dependencies cannot hide.
-check: vet build race bench-smoke serve-smoke
+# cannot rot, and end-to-end smokes of the chunk server (clean and under
+# injected faults). Tests run shuffled so inter-test ordering dependencies
+# cannot hide.
+check: vet build race bench-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,13 @@ bench:
 # drained exit (results/serve_bench.md holds the chunk-path benchmarks).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# chaos-smoke is the end-to-end gate of the fault-tolerant read path: serve
+# a deliberately corrupted archive under a seeded deterministic fault
+# profile and require zero 5xx responses, with the damage surfaced as
+# degraded (X-Videoapp-Degraded + serve_chunk_degraded) instead of errors.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a regression gate for the perf harness itself, cheap enough for check/CI.

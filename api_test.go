@@ -140,11 +140,11 @@ func TestSentinelErrors(t *testing.T) {
 		t.Fatalf("preset: got %v", err)
 	}
 	seq := apiTestSequence(t)
-	v, err := Encode(seq, apiTestParams())
+	v, err := encodeSerial(seq, apiTestParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	an := Analyze(v)
+	an := analyzeSerial(t, v)
 	parts := an.Partition(PaperAssignment())
 	if _, err := SplitStreams(v, parts[:1]); !errors.Is(err, ErrPartitionMismatch) {
 		t.Fatalf("split: got %v", err)

@@ -66,7 +66,7 @@ func BenchmarkParallelEncode(b *testing.B) {
 
 func BenchmarkParallelDecode(b *testing.B) {
 	seq := benchSequence(b, 24)
-	v, err := Encode(seq, benchParams())
+	v, err := encodeSerial(seq, benchParams())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func BenchmarkParallelDecode(b *testing.B) {
 
 func BenchmarkParallelAnalyze(b *testing.B) {
 	seq := benchSequence(b, 24)
-	v, err := Encode(seq, benchParams())
+	v, err := encodeSerial(seq, benchParams())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -102,11 +102,11 @@ func BenchmarkParallelAnalyze(b *testing.B) {
 
 func BenchmarkParallelStore(b *testing.B) {
 	seq := benchSequence(b, 24)
-	v, err := Encode(seq, benchParams())
+	v, err := encodeSerial(seq, benchParams())
 	if err != nil {
 		b.Fatal(err)
 	}
-	an := Analyze(v)
+	an := analyzeSerial(b, v)
 	parts := an.Partition(PaperAssignment())
 	sys, err := store.New(store.Config{Substrate: mlc.Default(), Assignment: PaperAssignment()})
 	if err != nil {
@@ -128,11 +128,11 @@ func BenchmarkParallelStore(b *testing.B) {
 
 func BenchmarkParallelMeasure(b *testing.B) {
 	seq := benchSequence(b, 24)
-	v, err := Encode(seq, benchParams())
+	v, err := encodeSerial(seq, benchParams())
 	if err != nil {
 		b.Fatal(err)
 	}
-	dec, err := Decode(v)
+	dec, err := decodeSerial(v)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 //	videoapp [flags] archive             stream raw video -> chunked .vacs archive
 //	videoapp [flags] chunk               random-access round trip of one archived chunk
 //	videoapp [flags] serve               HTTP chunk server over a .vacs archive
+//	videoapp [flags] scrub               verify (and repair from -mirror) a .vacs archive
 //	videoapp presets                     list synthetic presets
 //
 // Input is -in FILE (.y4m or .vapp as appropriate) or, when -in is omitted,
@@ -35,12 +36,20 @@
 // observability snapshot on /metrics, with a decoded-chunk LRU cache
 // (-cache-mb) and per-request timeouts (-req-timeout). Ctrl-C drains
 // in-flight connections before exiting.
+//
+// The archive read path (serve, chunk, scrub) is fault-tolerant:
+// -read-retries and -breaker-threshold tune the retry/shed policy,
+// -mirror FILE attaches a second copy for transparent recovery and scrub
+// repair, and -fault-profile "seed=N,transient=P,corrupt=P,short=P"
+// injects deterministic faults into the primary for testing (see the
+// internal/faultio package documentation for the spec grammar).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"os"
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"videoapp"
+	"videoapp/internal/faultio"
 	"videoapp/internal/quality"
 	"videoapp/internal/y4m"
 )
@@ -79,6 +89,12 @@ type options struct {
 	cacheMB    int
 	reqTimeout time.Duration
 
+	// Fault-tolerance knobs of the archive read path (serve/chunk/scrub).
+	faultProfile     string
+	mirror           string
+	readRetries      int
+	breakerThreshold int
+
 	// mtr aggregates stage metrics when -metrics is set and trace streams
 	// JSON events when -trace-out is; both also ride the run's context so
 	// direct (non-pipeline) stage calls report too.
@@ -86,51 +102,66 @@ type options struct {
 	trace *videoapp.Trace
 }
 
-func main() {
-	var o options
-	flag.StringVar(&o.in, "in", "", "input file (.y4m for encode/gen reference, .vapp for info/analyze/store/decode)")
-	flag.StringVar(&o.out, "o", "", "output file")
-	flag.StringVar(&o.preset, "preset", "crew_like", "synthetic preset when -in is omitted")
-	flag.IntVar(&o.w, "w", 320, "synthetic frame width")
-	flag.IntVar(&o.h, "h", 176, "synthetic frame height")
-	flag.IntVar(&o.frames, "frames", 60, "synthetic frame count")
-	flag.IntVar(&o.crf, "crf", 24, "quality target (16=very high, 20=high, 24=standard)")
-	flag.IntVar(&o.gop, "gop", 30, "I-frame interval")
-	flag.IntVar(&o.bframes, "bframes", 0, "B frames between anchors")
-	flag.IntVar(&o.slices, "slices", 1, "slices per frame")
-	flag.BoolVar(&o.cavlc, "cavlc", false, "use CAVLC instead of CABAC (shorthand for -entropy cavlc)")
-	flag.StringVar(&o.entropy, "entropy", "", "entropy coder: cabac or cavlc (default: cabac, or -cavlc)")
-	flag.BoolVar(&o.halfpel, "halfpel", false, "half-pel motion compensation")
-	flag.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
-	flag.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
-	flag.IntVar(&o.workers, "workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
-	flag.BoolVar(&o.stream, "stream", false, "store: process as a stream of closed-GOP chunks (bit-identical to batch)")
-	flag.IntVar(&o.chunkGops, "chunk-gops", 1, "closed GOPs per streaming chunk (archive granularity)")
-	flag.IntVar(&o.chunkIdx, "chunk", 0, "chunk index for the chunk command")
-	flag.BoolVar(&o.metrics, "metrics", false, "print per-stage wall time and pipeline counters (human + JSON)")
-	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
-	flag.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
-	flag.StringVar(&o.archive, "archive", "", "serve: .vacs archive to serve (falls back to -in)")
-	flag.StringVar(&o.addr, "addr", ":8080", "serve: listen address")
-	flag.IntVar(&o.cacheMB, "cache-mb", 64, "serve: decoded-chunk cache budget in MiB")
-	flag.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "serve: per-request timeout, decode included")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	cmd := flag.Arg(0)
+// cliMain is the testable body of main: it parses args, validates the
+// flag set against the selected command, and runs it. Exit status 2 means
+// the command line itself was rejected (flag parse or validation); 1 means
+// the command ran and failed.
+func cliMain(args []string, stderr io.Writer) int {
+	var o options
+	fs := flag.NewFlagSet("videoapp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.in, "in", "", "input file (.y4m for encode/gen reference, .vapp for info/analyze/store/decode)")
+	fs.StringVar(&o.out, "o", "", "output file")
+	fs.StringVar(&o.preset, "preset", "crew_like", "synthetic preset when -in is omitted")
+	fs.IntVar(&o.w, "w", 320, "synthetic frame width")
+	fs.IntVar(&o.h, "h", 176, "synthetic frame height")
+	fs.IntVar(&o.frames, "frames", 60, "synthetic frame count")
+	fs.IntVar(&o.crf, "crf", 24, "quality target (16=very high, 20=high, 24=standard)")
+	fs.IntVar(&o.gop, "gop", 30, "I-frame interval")
+	fs.IntVar(&o.bframes, "bframes", 0, "B frames between anchors")
+	fs.IntVar(&o.slices, "slices", 1, "slices per frame")
+	fs.BoolVar(&o.cavlc, "cavlc", false, "use CAVLC instead of CABAC (shorthand for -entropy cavlc)")
+	fs.StringVar(&o.entropy, "entropy", "", "entropy coder: cabac or cavlc (default: cabac, or -cavlc)")
+	fs.BoolVar(&o.halfpel, "halfpel", false, "half-pel motion compensation")
+	fs.BoolVar(&o.deblock, "deblock", false, "in-loop deblocking filter")
+	fs.Int64Var(&o.seed, "seed", 1, "storage round-trip seed")
+	fs.IntVar(&o.workers, "workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.stream, "stream", false, "store: process as a stream of closed-GOP chunks (bit-identical to batch)")
+	fs.IntVar(&o.chunkGops, "chunk-gops", 1, "closed GOPs per streaming chunk (archive granularity)")
+	fs.IntVar(&o.chunkIdx, "chunk", 0, "chunk index for the chunk command")
+	fs.BoolVar(&o.metrics, "metrics", false, "print per-stage wall time and pipeline counters (human + JSON)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
+	fs.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
+	fs.StringVar(&o.archive, "archive", "", "serve: .vacs archive to serve (falls back to -in)")
+	fs.StringVar(&o.addr, "addr", ":8080", "serve: listen address")
+	fs.IntVar(&o.cacheMB, "cache-mb", 64, "serve: decoded-chunk cache budget in MiB")
+	fs.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "serve: per-request timeout, decode included")
+	fs.StringVar(&o.faultProfile, "fault-profile", "", "inject deterministic faults into archive reads: \"seed=N,transient=P,corrupt=P,short=P,latency=D\"")
+	fs.StringVar(&o.mirror, "mirror", "", "second copy of the archive for read recovery and scrub repair")
+	fs.IntVar(&o.readRetries, "read-retries", 0, "archive read retries after the first failure (0 = default of 2, negative disables)")
+	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive hard read failures that open the serve circuit breaker (0 = default of 8, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cmd := fs.Arg(0)
 	if cmd == "" {
 		cmd = "store"
 	}
-	if err := o.validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
-		os.Exit(2)
+	if err := o.validate(cmd); err != nil {
+		fmt.Fprintf(stderr, "videoapp: %v\n", err)
+		return 2
 	}
 	// Ctrl-C cancels the pipeline cooperatively at the next frame boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := instrumentedRun(ctx, cmd, o); err != nil {
-		fmt.Fprintf(os.Stderr, "videoapp: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "videoapp: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 // instrumentedRun wires the observability flags around run: the CPU profile
@@ -186,8 +217,27 @@ func instrumentedRun(ctx context.Context, cmd string, o options) error {
 }
 
 // validate rejects flag values that would otherwise surface as a confusing
-// failure (or a silent fallback) deep inside the pipeline.
-func (o options) validate() error {
+// failure (or a silent fallback) deep inside the pipeline, plus flag/command
+// combinations that contradict each other.
+func (o options) validate(cmd string) error {
+	switch cmd {
+	case "serve", "scrub":
+		if o.archive == "" && o.in == "" {
+			return fmt.Errorf("the %s command requires -archive FILE (or -in FILE)", cmd)
+		}
+	case "chunk":
+		if o.in == "" {
+			return fmt.Errorf("the chunk command requires -in ARCHIVE")
+		}
+	}
+	if o.stream && cmd != "store" {
+		return fmt.Errorf("-stream only applies to the store command (the %s command is always chunked)", cmd)
+	}
+	if o.faultProfile != "" {
+		if _, err := faultio.ParseProfile(o.faultProfile); err != nil {
+			return fmt.Errorf("-fault-profile: %w", err)
+		}
+	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d is negative (0 selects GOMAXPROCS)", o.workers)
 	}
@@ -223,6 +273,70 @@ func (o options) validate() error {
 // useCAVLC resolves the entropy coder selection from -entropy and the
 // -cavlc shorthand (validated to agree).
 func (o options) useCAVLC() bool { return o.cavlc || o.entropy == "cavlc" }
+
+// faultPolicy maps the read-path flags onto a FaultPolicy; zero fields
+// resolve to the library defaults.
+func (o options) faultPolicy() videoapp.FaultPolicy {
+	return videoapp.FaultPolicy{
+		MaxRetries:       o.readRetries,
+		BreakerThreshold: o.breakerThreshold,
+	}
+}
+
+// openArchive opens path for the fault-tolerant read path: the primary
+// reader wrapped in the -fault-profile injector when one is configured,
+// the -mirror copy attached for recovery, and the flag policy attached for
+// retries. writable opens the primary read-write so scrub can repair it in
+// place. The returned closer releases every opened file.
+func (o options) openArchive(path string, writable bool) (*videoapp.ChunkArchive, func() error, error) {
+	mode := os.O_RDONLY
+	if writable {
+		mode = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, mode, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	closers := []io.Closer{f}
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	// *os.File is an io.ReaderAt, so concurrent chunk reads share no
+	// cursor and take no lock; the faultio wrapper preserves both that and
+	// the io.WriterAt scrub repairs need.
+	var r io.ReaderAt = f
+	if o.faultProfile != "" {
+		prof, err := faultio.ParseProfile(o.faultProfile)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		r = faultio.New(f, prof)
+	}
+	opts := []videoapp.ArchiveOption{videoapp.WithArchivePolicy(o.faultPolicy())}
+	if o.mirror != "" {
+		m, err := os.Open(o.mirror)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		closers = append(closers, m)
+		opts = append(opts, videoapp.WithMirror(m))
+	}
+	a, err := videoapp.OpenArchive(r, opts...)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	closers = append(closers, a)
+	return a, closeAll, nil
+}
 
 // pipelineOptions maps the CLI flags 1:1 onto the NewPipeline functional
 // options (see the NewPipeline godoc for the table): the encoder flags via
@@ -505,18 +619,11 @@ func run(ctx context.Context, cmd string, o options) error {
 		}
 		return closeSrc()
 	case "chunk":
-		if o.in == "" {
-			return fmt.Errorf("the chunk command requires -in ARCHIVE")
-		}
-		f, err := os.Open(o.in)
+		a, closeArchive, err := o.openArchive(o.in, false)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		a, err := videoapp.OpenArchive(f)
-		if err != nil {
-			return err
-		}
+		defer closeArchive()
 		info, err := a.Info(o.chunkIdx)
 		if err != nil {
 			return err
@@ -542,31 +649,21 @@ func run(ctx context.Context, cmd string, o options) error {
 		if path == "" {
 			path = o.in
 		}
-		if path == "" {
-			return fmt.Errorf("the serve command requires -archive FILE (or -in FILE)")
-		}
-		f, err := os.Open(path)
+		a, closeArchive, err := o.openArchive(path, false)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		// *os.File is an io.ReaderAt, so concurrent chunk reads share no
-		// cursor and take no lock.
-		a, err := videoapp.OpenArchive(f)
-		if err != nil {
-			return err
+		defer closeArchive()
+		srvOpts := []videoapp.ServeOption{
+			videoapp.WithCacheBytes(int64(o.cacheMB) << 20),
+			videoapp.WithServeWorkers(o.workers),
+			videoapp.WithRequestTimeout(o.reqTimeout),
+			videoapp.WithFaultPolicy(o.faultPolicy()),
 		}
-		defer a.Close()
-		var extra videoapp.Observer
 		if o.trace != nil {
-			extra = o.trace
+			srvOpts = append(srvOpts, videoapp.WithServeObserver(o.trace))
 		}
-		srv := videoapp.NewChunkServer(a, videoapp.ServeOptions{
-			CacheBytes:     int64(o.cacheMB) << 20,
-			Workers:        o.workers,
-			RequestTimeout: o.reqTimeout,
-			Observer:       extra,
-		})
+		srv := videoapp.NewChunkServer(a, srvOpts...)
 		l, err := net.Listen("tcp", o.addr)
 		if err != nil {
 			return err
@@ -582,8 +679,37 @@ func run(ctx context.Context, cmd string, o options) error {
 		}
 		fmt.Println("server drained, exiting")
 		return err
+	case "scrub":
+		path := o.archive
+		if path == "" {
+			path = o.in
+		}
+		// Open read-write so damaged regions can be repaired in place when
+		// a -mirror is attached.
+		a, closeArchive, err := o.openArchive(path, o.mirror != "")
+		if err != nil {
+			return err
+		}
+		defer closeArchive()
+		rep, err := a.Scrub(ctx)
+		if err != nil {
+			return err
+		}
+		for _, h := range rep.Chunks {
+			if len(h.Damaged) == 0 {
+				continue
+			}
+			fmt.Printf("chunk %d: %d/%d regions damaged %v, repaired %v\n",
+				h.Index, len(h.Damaged), h.Regions, h.Damaged, h.Repaired)
+		}
+		fmt.Printf("scrubbed %d chunks: %d damaged regions, %d repaired\n",
+			len(rep.Chunks), rep.Damaged, rep.Repaired)
+		if !rep.Healthy() {
+			return fmt.Errorf("archive has %d unrepaired damaged regions", rep.Damaged-rep.Repaired)
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|serve|presets)", cmd)
+		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|serve|scrub|presets)", cmd)
 	}
 }
 

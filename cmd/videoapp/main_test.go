@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIValidation drives cliMain the way main does and checks the exit
+// status contract: 2 for a rejected command line (flag parse or
+// validation), 1 for a command that runs and fails, 0 for success. Flags
+// precede the command word, as in a real invocation (the flag package
+// stops parsing at the first positional argument).
+func TestCLIValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		exit   int
+		stderr string // substring the diagnostic must contain; "" = any
+	}{
+		{
+			name: "presets succeeds",
+			args: []string{"presets"},
+			exit: 0,
+		},
+		{
+			name:   "serve without archive",
+			args:   []string{"serve"},
+			exit:   2,
+			stderr: "requires -archive",
+		},
+		{
+			name:   "scrub without archive",
+			args:   []string{"scrub"},
+			exit:   2,
+			stderr: "requires -archive",
+		},
+		{
+			name:   "chunk without input",
+			args:   []string{"chunk"},
+			exit:   2,
+			stderr: "requires -in",
+		},
+		{
+			name:   "bad cache-mb",
+			args:   []string{"-cache-mb", "0", "-archive", "x.vacs", "serve"},
+			exit:   2,
+			stderr: "-cache-mb",
+		},
+		{
+			name:   "stream conflicts with archive command",
+			args:   []string{"-stream", "archive"},
+			exit:   2,
+			stderr: "-stream only applies to the store command",
+		},
+		{
+			name:   "stream conflicts with serve command",
+			args:   []string{"-stream", "-archive", "x.vacs", "serve"},
+			exit:   2,
+			stderr: "-stream only applies to the store command",
+		},
+		{
+			name:   "unparseable fault profile",
+			args:   []string{"-fault-profile", "transient=lots", "-archive", "x.vacs", "serve"},
+			exit:   2,
+			stderr: "-fault-profile",
+		},
+		{
+			name:   "unknown flag",
+			args:   []string{"-no-such-flag"},
+			exit:   2,
+			stderr: "flag provided but not defined",
+		},
+		{
+			name:   "negative workers",
+			args:   []string{"-workers", "-1", "presets"},
+			exit:   2,
+			stderr: "-workers",
+		},
+		{
+			name:   "bad entropy coder",
+			args:   []string{"-entropy", "huffman", "presets"},
+			exit:   2,
+			stderr: "-entropy",
+		},
+		{
+			name:   "entropy contradicts cavlc shorthand",
+			args:   []string{"-entropy", "cabac", "-cavlc", "presets"},
+			exit:   2,
+			stderr: "contradicts",
+		},
+		{
+			name:   "unknown command",
+			args:   []string{"frobnicate"},
+			exit:   1,
+			stderr: "unknown command",
+		},
+		{
+			name:   "serve with missing archive file",
+			args:   []string{"-archive", filepath.Join(t.TempDir(), "absent.vacs"), "serve"},
+			exit:   1,
+			stderr: "no such file",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			got := cliMain(tc.args, &stderr)
+			if got != tc.exit {
+				t.Fatalf("cliMain(%q) = %d, want %d (stderr: %s)", tc.args, got, tc.exit, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestCLIScrubRoundTrip exercises the scrub command end to end: a clean
+// archive scrubs healthy (exit 0), a corrupted copy without a mirror exits
+// 1, and with a mirror the archive is repaired in place byte-for-byte.
+func TestCLIScrubRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real archive")
+	}
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.vacs")
+
+	var stderr bytes.Buffer
+	args := []string{"-preset", "news_like", "-w", "64", "-h", "48", "-frames", "8", "-gop", "4", "-o", clean, "archive"}
+	if got := cliMain(args, &stderr); got != 0 {
+		t.Fatalf("archive: exit %d (stderr: %s)", got, stderr.String())
+	}
+
+	if got := cliMain([]string{"-in", clean, "scrub"}, &stderr); got != 0 {
+		t.Fatalf("clean scrub: exit %d (stderr: %s)", got, stderr.String())
+	}
+
+	// Corrupt the tail of a copy; the last bytes are stream payload.
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)-1] ^= 0xFF
+	damaged := filepath.Join(dir, "damaged.vacs")
+	if err := os.WriteFile(damaged, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stderr.Reset()
+	if got := cliMain([]string{"-in", damaged, "scrub"}, &stderr); got != 1 {
+		t.Fatalf("damaged scrub without mirror: exit %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unrepaired") {
+		t.Fatalf("stderr %q does not report unrepaired damage", stderr.String())
+	}
+
+	stderr.Reset()
+	if got := cliMain([]string{"-in", damaged, "-mirror", clean, "scrub"}, &stderr); got != 0 {
+		t.Fatalf("scrub with mirror: exit %d (stderr: %s)", got, stderr.String())
+	}
+	repaired, err := os.ReadFile(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repaired, data) {
+		t.Fatal("scrub with mirror did not restore the damaged archive byte-for-byte")
+	}
+}

@@ -58,11 +58,11 @@ func TestEncodeDeterministicAcrossOptions(t *testing.T) {
 		p.GOPSize = 6
 		p.SearchRange = 8
 		mut(&p)
-		a, err := Encode(seq, p)
+		a, err := encodeSerial(seq, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Encode(seq, p)
+		b, err := encodeSerial(seq, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -32,13 +32,13 @@ func ExamplePipeline() {
 }
 
 // Importance is monotone within each frame — the §4.4 pivot property.
-func ExampleAnalyze() {
+func ExampleAnalyzeContext() {
 	seq, _ := videoapp.GenerateTestVideo("crew_like", 64, 48, 4)
 	p := videoapp.DefaultParams()
 	p.GOPSize = 4
 	p.SearchRange = 8
-	v, _ := videoapp.Encode(seq, p)
-	an := videoapp.Analyze(v)
+	v, _ := videoapp.EncodeContext(context.Background(), seq, p, 1)
+	an, _ := videoapp.AnalyzeContext(context.Background(), v, 1)
 	fmt.Println("monotone:", an.CheckMonotone() == nil)
 	fmt.Println("first frame head >= tail:",
 		an.Importance[0][0] >= an.Importance[0][len(an.Importance[0])-1])
@@ -67,7 +67,7 @@ func Example_serve() {
 	}
 
 	a, _ := videoapp.OpenArchive(bytes.NewReader(archive.Bytes()))
-	srv := videoapp.NewChunkServer(a, videoapp.ServeOptions{})
+	srv := videoapp.NewChunkServer(a)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -101,7 +101,7 @@ func ExampleMarshal() {
 	p := videoapp.DefaultParams()
 	p.GOPSize = 3
 	p.SearchRange = 8
-	v, _ := videoapp.Encode(seq, p)
+	v, _ := videoapp.EncodeContext(context.Background(), seq, p, 1)
 	data := videoapp.Marshal(v)
 	v2, err := videoapp.Unmarshal(data)
 	fmt.Println("err:", err)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -23,11 +24,14 @@ func main() {
 		log.Fatal(err)
 	}
 	p := videoapp.DefaultParams()
-	video, err := videoapp.Encode(seq, p)
+	video, err := videoapp.EncodeContext(context.Background(), seq, p, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis := videoapp.Analyze(video)
+	analysis, err := videoapp.AnalyzeContext(context.Background(), video, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	parts := analysis.Partition(videoapp.PaperAssignment())
 
 	// Split into per-reliability streams and encrypt each one (§5.3).
@@ -73,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	decoded, err := videoapp.Decode(merged)
+	decoded, err := videoapp.DecodeContext(context.Background(), merged, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

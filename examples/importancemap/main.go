@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,11 +23,14 @@ func main() {
 	}
 	p := videoapp.DefaultParams()
 	p.GOPSize = 30
-	video, err := videoapp.Encode(seq, p)
+	video, err := videoapp.EncodeContext(context.Background(), seq, p, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis := videoapp.Analyze(video)
+	analysis, err := videoapp.AnalyzeContext(context.Background(), video, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	maxLog := math.Log2(analysis.MaxImportance() + 1)
 
 	mbCols := video.MBCols()

@@ -63,10 +63,10 @@ func main() {
 	}
 	defer archive.Close()
 
-	srv := videoapp.NewChunkServer(archive, videoapp.ServeOptions{
-		CacheBytes:     32 << 20,
-		RequestTimeout: 10 * time.Second,
-	})
+	srv := videoapp.NewChunkServer(archive,
+		videoapp.WithCacheBytes(32<<20),
+		videoapp.WithRequestTimeout(10*time.Second),
+	)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,11 +21,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	video, err := videoapp.Encode(seq, videoapp.DefaultParams())
+	video, err := videoapp.EncodeContext(context.Background(), seq, videoapp.DefaultParams(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis := videoapp.Analyze(video)
+	analysis, err := videoapp.AnalyzeContext(context.Background(), video, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	parts := analysis.Partition(videoapp.PaperAssignment())
 	streams, err := videoapp.SplitStreams(video, parts)
 	if err != nil {
@@ -67,7 +71,7 @@ func evaluate(seq *videoapp.Sequence, video *videoapp.Video, streams *videoapp.S
 		if err != nil {
 			log.Fatal(err)
 		}
-		dec, err := videoapp.Decode(merged)
+		dec, err := videoapp.DecodeContext(context.Background(), merged, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,33 @@
+package videoapp
+
+// Serial wrappers over the context-first subsystem entry points, shared by
+// the package's tests. The public API exposes only EncodeContext,
+// DecodeContext, AnalyzeContext and MeasureContext; these helpers pin the
+// background context and a single worker for call sites that exercise the
+// serial forms.
+
+import "context"
+
+func encodeSerial(seq *Sequence, p Params) (*Video, error) {
+	return EncodeContext(context.Background(), seq, p, 1)
+}
+
+func encodeWorkers(seq *Sequence, p Params, workers int) (*Video, error) {
+	return EncodeContext(context.Background(), seq, p, workers)
+}
+
+func decodeSerial(v *Video) (*Sequence, error) {
+	return DecodeContext(context.Background(), v, 1)
+}
+
+func analyzeSerial(tb interface{ Fatalf(string, ...any) }, v *Video) *Analysis {
+	an, err := AnalyzeContext(context.Background(), v, 1)
+	if err != nil {
+		tb.Fatalf("analyze: %v", err)
+	}
+	return an
+}
+
+func measureSerial(ref, dist *Sequence) (QualityReport, error) {
+	return MeasureContext(context.Background(), ref, dist, 1)
+}

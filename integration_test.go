@@ -21,11 +21,11 @@ func TestFullPipelineWithEncryptionAndStorage(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 12
 	p.SearchRange = 8
-	video, err := Encode(seq, p)
+	video, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	an := Analyze(video)
+	an := analyzeSerial(t, video)
 	if err := an.CheckMonotone(); err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestFullPipelineWithEncryptionAndStorage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Decode(merged)
+	dec, err := decodeSerial(merged)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestContainerThroughFacade(t *testing.T) {
 	seq, _ := GenerateTestVideo("news_like", 64, 48, 6)
 	p := DefaultParams()
 	p.GOPSize = 6
-	v, err := Encode(seq, p)
+	v, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,8 +98,8 @@ func TestContainerThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := Decode(v)
-	b, _ := Decode(v2)
+	a, _ := decodeSerial(v)
+	b, _ := decodeSerial(v2)
 	if h1, h2 := hashSeq(a), hashSeq(b); h1 != h2 {
 		t.Fatal("container decode differs")
 	}
@@ -171,11 +171,11 @@ func TestDamagedStoreStillWithinGOP(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 8
 	p.SearchRange = 8
-	v, err := Encode(seq, p)
+	v, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, _ := Decode(v)
+	clean, _ := decodeSerial(v)
 	c := v.Clone()
 	// Hammer the first GOP's frames.
 	for fi := 0; fi < 8; fi++ {
@@ -183,7 +183,7 @@ func TestDamagedStoreStillWithinGOP(t *testing.T) {
 			bitio.FlipBit(c.Frames[fi].Payload, k*17)
 		}
 	}
-	corrupt, err := Decode(c)
+	corrupt, err := decodeSerial(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestAnalyzeAfterContainerRoundTrip(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 10
 	p.SearchRange = 8
-	v, err := Encode(seq, p)
+	v, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,8 +217,8 @@ func TestAnalyzeAfterContainerRoundTrip(t *testing.T) {
 	if err := Reanalyze(loaded); err != nil {
 		t.Fatal(err)
 	}
-	anA := Analyze(v)
-	anB := Analyze(loaded)
+	anA := analyzeSerial(t, v)
+	anB := analyzeSerial(t, loaded)
 	for f := range anA.Importance {
 		for m := range anA.Importance[f] {
 			a, b := anA.Importance[f][m], anB.Importance[f][m]

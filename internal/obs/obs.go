@@ -43,6 +43,9 @@ const (
 	// layer: archive read, decode, and y4m rendering. Cache hits publish no
 	// span, so the stage's wall time is pure decode-path latency.
 	StageServeChunk = "serve_chunk"
+	// StageScrub spans one Archive.Scrub pass: every record read,
+	// verified, and (when a mirror is configured) repaired.
+	StageScrub = "scrub"
 )
 
 // Counter and gauge names published by the instrumented stages. Labels are
@@ -90,8 +93,37 @@ const (
 	// coalescing this stays at one per cold chunk however many clients
 	// stampede it.
 	CtrServeDecodes = "serve_chunk_decodes"
+	// CtrServeDegraded counts chunk responses served in degraded form —
+	// one or more approximate streams failed verification after retries
+	// and were replaced by zeroes, so the client got the precise-class
+	// reconstruction instead of a 500. Every such response also carries
+	// the X-Videoapp-Degraded header.
+	CtrServeDegraded = "serve_chunk_degraded"
+	// CtrServeShed counts chunk requests rejected by the open circuit
+	// breaker with 503 + Retry-After.
+	CtrServeShed = "serve_breaker_shed"
+	// CtrReadRetries counts archive read attempts retried after a
+	// transient failure or checksum mismatch.
+	CtrReadRetries = "store_read_retries"
+	// CtrCRCFailures counts archive region reads whose CRC did not match
+	// the record header, labelled by region ("precise", "pivots", or the
+	// stream's scheme name).
+	CtrCRCFailures = "store_crc_failures"
+	// CtrDegradedStreams counts approximate streams zero-filled after
+	// exhausting retries (and the mirror, when configured), labelled by
+	// scheme name.
+	CtrDegradedStreams = "store_degraded_streams"
+	// CtrMirrorReads counts archive regions recovered from the mirror
+	// reader after the primary failed.
+	CtrMirrorReads = "store_mirror_reads"
+	// CtrScrubRepairs counts archive regions rewritten in place by Scrub
+	// from a verified mirror copy.
+	CtrScrubRepairs = "store_scrub_repairs"
 	// GaugeServeInFlight is the number of requests currently being served.
 	GaugeServeInFlight = "serve_in_flight"
+	// GaugeServeBreakerOpen is 1 while the chunk server's circuit breaker
+	// is open (shedding load) and 0 while it is closed.
+	GaugeServeBreakerOpen = "serve_breaker_open"
 	// GaugeServeCacheHitRate is the decoded-chunk cache hit rate in [0,1].
 	GaugeServeCacheHitRate = "serve_cache_hit_rate"
 	// GaugeServeCacheBytes is the resident cost of the decoded-chunk cache.

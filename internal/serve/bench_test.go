@@ -13,7 +13,7 @@ import (
 // on every iteration.
 func BenchmarkServeChunk(b *testing.B) {
 	a := buildArchive(b, 2)
-	s := New(a, Options{})
+	s := New(a)
 	req := httptest.NewRequest(http.MethodGet, "/v1/chunks/0", nil)
 
 	run := func(b *testing.B, evict bool) {
@@ -62,7 +62,7 @@ func BenchmarkArchiveReadChunk(b *testing.B) {
 // the shape of the serving workload the read path is built for.
 func BenchmarkServeChunkParallel(b *testing.B) {
 	a := buildArchive(b, 2)
-	s := New(a, Options{})
+	s := New(a)
 	warm := httptest.NewRecorder()
 	s.Handler().ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/chunks/0", nil))
 	if warm.Code != http.StatusOK {

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-archive circuit breaker of the chunk read path. It
+// counts consecutive hard read failures — ErrReadFailed, the device
+// failing after the policy's retries, never data damage or client errors —
+// and once the threshold is reached it opens for one cooldown period,
+// during which chunk requests are shed immediately with 503 + Retry-After
+// instead of queueing more work on a failing device. After the cooldown
+// requests probe the read path again; the first success closes it.
+//
+// A zero or negative threshold disables the breaker entirely (allow always
+// reports true), matching FaultPolicy's "negative disables" convention —
+// the resolved default threshold is 8.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// enabled reports whether the breaker participates at all.
+func (b *breaker) enabled() bool { return b.threshold > 0 }
+
+// allow reports whether a chunk request may proceed. While open it reports
+// false until the cooldown elapses; the first request after that is let
+// through as a probe (the breaker stays primed: a failure re-opens it
+// immediately because the consecutive-failure count is preserved).
+func (b *breaker) allow(now time.Time) bool {
+	if !b.enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.After(b.openUntil)
+}
+
+// success resets the consecutive-failure count and closes the breaker,
+// reporting whether there was any failure state to clear (the caller
+// refreshes the open gauge only on that transition).
+func (b *breaker) success() bool {
+	if !b.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cleared := b.fails > 0 || !b.openUntil.IsZero()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	return cleared
+}
+
+// failure records one hard read failure and reports whether the breaker is
+// now open.
+func (b *breaker) failure(now time.Time) bool {
+	if !b.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// retryAfterSeconds is the Retry-After value advertised while shedding:
+// the cooldown rounded up to a whole second, at least 1.
+func (b *breaker) retryAfterSeconds() int {
+	s := int((b.cooldown + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

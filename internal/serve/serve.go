@@ -21,6 +21,26 @@
 // in-flight gauge) and renders a snapshot on /metrics. Shutdown drains
 // in-flight connections before returning.
 //
+// # Fault tolerance
+//
+// The server rides the store layer's fault-tolerant read path and adds two
+// availability mechanisms of its own:
+//
+//   - graceful degradation: when a chunk's approximate streams fail
+//     verification after the policy's retries (and the mirror, when one is
+//     configured), the server ships the precise-class reconstruction —
+//     damaged streams zero-filled — instead of an error. Such responses
+//     carry the X-Videoapp-Degraded header naming the lost schemes and are
+//     counted in serve_chunk_degraded. Only damage to the precisely-stored
+//     region is a hard failure, and even that answers 503 + Retry-After
+//     (scrubbing can repair it), never a 5xx dead end.
+//   - a circuit breaker: consecutive hard read failures (ErrReadFailed —
+//     the device, not the data) open the breaker for the policy's cooldown,
+//     during which chunk requests are shed immediately with 503 +
+//     Retry-After instead of hammering a failing device. Shed requests are
+//     counted in serve_breaker_shed and the serve_breaker_open gauge is 1
+//     while shedding. Any successful read closes the breaker.
+//
 // # Endpoints
 //
 //	GET /healthz                 liveness probe, "ok"
@@ -39,6 +59,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -49,8 +70,10 @@ import (
 	"videoapp/internal/y4m"
 )
 
-// Options configures a Server. The zero value is usable: every field has a
-// working default.
+// Options is the server's resolved configuration. Construct servers with
+// New and the With* functional options; Options survives as a plain struct
+// so the one-release compatibility shim (the root package's
+// WithServeOptions) and tests can state a whole configuration at once.
 type Options struct {
 	// CacheBytes bounds the decoded-chunk cache by rendered output size;
 	// <= 0 selects 64 MiB. The cache holds y4m-rendered chunks, so one
@@ -68,6 +91,11 @@ type Options struct {
 	// Observer, when non-nil, receives the serve-layer events alongside
 	// the server's own metrics aggregator.
 	Observer obs.Observer
+	// FaultPolicy tunes the read path's retries and the circuit breaker.
+	// It only takes effect through WithFaultPolicy (or a WithOptions shim
+	// carrying a non-zero policy), which also threads it under every
+	// archive read of this server, overriding the archive's own policy.
+	FaultPolicy store.FaultPolicy
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -84,27 +112,108 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// config is the mutable state the functional options assemble.
+type config struct {
+	opts      Options
+	policySet bool
+}
+
+// Option configures a Server at construction, applied in argument order.
+type Option func(*config)
+
+// WithCacheBytes bounds the decoded-chunk cache by rendered output size;
+// <= 0 selects the 64 MiB default.
+func WithCacheBytes(n int64) Option {
+	return func(c *config) { c.opts.CacheBytes = n }
+}
+
+// WithWorkers bounds the decoder's frame parallelism per cold chunk;
+// <= 0 selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.opts.Workers = n }
+}
+
+// WithRequestTimeout bounds one request end to end, decode included;
+// <= 0 selects 30 seconds.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.opts.RequestTimeout = d }
+}
+
+// WithDrainTimeout bounds connection draining during shutdown; <= 0
+// selects 10 seconds.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(c *config) { c.opts.DrainTimeout = d }
+}
+
+// WithObserver attaches an observer that receives the serve-layer events
+// alongside the server's own metrics aggregator.
+func WithObserver(o obs.Observer) Option {
+	return func(c *config) { c.opts.Observer = o }
+}
+
+// WithFaultPolicy sets the fault policy the server reads under: retry
+// count and backoff for archive reads, checksum verification, and the
+// circuit breaker's threshold and cooldown. The policy is threaded through
+// the request context, so it overrides the archive's own policy for reads
+// this server issues.
+func WithFaultPolicy(p store.FaultPolicy) Option {
+	return func(c *config) {
+		c.opts.FaultPolicy = p
+		c.policySet = true
+	}
+}
+
+// WithOptions applies a whole Options struct at once — the compatibility
+// bridge for code written against the previous struct-configured
+// constructor. A non-zero FaultPolicy field behaves as WithFaultPolicy.
+func WithOptions(o Options) Option {
+	return func(c *config) {
+		set := c.policySet || o.FaultPolicy != (store.FaultPolicy{})
+		c.opts = o
+		c.policySet = set
+	}
+}
+
 // Server serves one archive to many concurrent clients. Construct with New;
 // all methods are safe for concurrent use.
 type Server struct {
-	archive  *store.ChunkArchive
-	opts     Options
-	cache    *cache.Cache[int, []byte]
-	metrics  *obs.Metrics
-	observer obs.Observer
-	inFlight atomic.Int64
-	mux      *http.ServeMux
+	archive   *store.ChunkArchive
+	opts      Options
+	policySet bool
+	cache     *cache.Cache[int, chunkPayload]
+	metrics   *obs.Metrics
+	observer  obs.Observer
+	inFlight  atomic.Int64
+	breaker   breaker
+	mux       *http.ServeMux
+}
+
+// chunkPayload is one cached chunk response: the rendered y4m bytes plus
+// the degradation verdict of the read that produced them, so cache hits
+// replay the same X-Videoapp-Degraded header as the original response.
+type chunkPayload struct {
+	data     []byte
+	degraded []string
 }
 
 // New returns a server over an opened archive. The archive must outlive the
 // server; the server never closes it.
-func New(a *store.ChunkArchive, opts Options) *Server {
-	opts = opts.withDefaults()
+func New(a *store.ChunkArchive, options ...Option) *Server {
+	var c config
+	for _, o := range options {
+		o(&c)
+	}
+	opts := c.opts.withDefaults()
+	pol := opts.FaultPolicy.Resolved()
 	s := &Server{
-		archive: a,
-		opts:    opts,
-		cache:   cache.New[int, []byte](opts.CacheBytes, func(b []byte) int64 { return int64(len(b)) }),
+		archive:   a,
+		opts:      opts,
+		policySet: c.policySet,
+		cache: cache.New[int, chunkPayload](opts.CacheBytes, func(p chunkPayload) int64 {
+			return int64(len(p.data))
+		}),
 		metrics: obs.NewMetrics(),
+		breaker: breaker{threshold: pol.BreakerThreshold, cooldown: pol.BreakerCooldown},
 	}
 	s.observer = obs.Multi(s.metrics, opts.Observer)
 	s.mux = http.NewServeMux()
@@ -163,7 +272,9 @@ func (s *Server) route(name string, h func(http.ResponseWriter, *http.Request) e
 }
 
 // writeError maps the archive layer's typed errors and context outcomes to
-// HTTP statuses. It is a no-op when the handler already wrote a body.
+// HTTP statuses. Unreadable data never dead-ends in a 500: corruption is
+// repairable (scrub, mirror) and device failure is transient by
+// definition, so both answer 503 with a Retry-After hint.
 func (s *Server) writeError(w *statusWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -171,8 +282,9 @@ func (s *Server) writeError(w *statusWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, store.ErrArchiveClosed):
 		status = http.StatusServiceUnavailable
-	case errors.Is(err, store.ErrCorruptRecord):
-		status = http.StatusInternalServerError
+	case errors.Is(err, store.ErrCorruptRecord), errors.Is(err, store.ErrReadFailed):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfterSeconds()))
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
@@ -227,11 +339,20 @@ func (s *Server) handleChunkMeta(w http.ResponseWriter, r *http.Request) error {
 
 // handleChunk answers with the decoded frames of one chunk as a YUV4MPEG2
 // stream, from cache when hot. Cold chunks are materialized once per
-// stampede via the cache's singleflight and then shared.
+// stampede via the cache's singleflight and then shared. The open circuit
+// breaker sheds the request before any archive or cache work; a response
+// built from a degraded read (some approximate streams zero-filled)
+// carries the X-Videoapp-Degraded header, on cache hits too.
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) error {
 	i, err := chunkIndex(r)
 	if err != nil {
 		return err
+	}
+	if !s.breaker.allow(time.Now()) {
+		s.observer.Counter(obs.CtrServeShed, "", 1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfterSeconds()))
+		http.Error(w, "chunk read path unavailable (circuit breaker open)", http.StatusServiceUnavailable)
+		return nil
 	}
 	if _, err := s.archive.Info(i); err != nil {
 		return err // 404 before paying a flight for an absent chunk
@@ -241,42 +362,60 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) error {
 	} else {
 		s.observer.Counter(obs.CtrServeCacheMisses, "", 1)
 	}
-	data, err := s.cache.GetOrLoad(r.Context(), i, func(ctx context.Context) ([]byte, error) {
+	p, err := s.cache.GetOrLoad(r.Context(), i, func(ctx context.Context) (chunkPayload, error) {
 		return s.materialize(ctx, i)
 	})
 	if err != nil {
+		if errors.Is(err, store.ErrReadFailed) && s.breaker.failure(time.Now()) {
+			s.observer.Gauge(obs.GaugeServeBreakerOpen, "", 1)
+		}
 		return err
+	}
+	if s.breaker.success() {
+		// A success (possibly a probe after the cooldown) closes the
+		// breaker; refresh the gauge only on the transition.
+		s.observer.Gauge(obs.GaugeServeBreakerOpen, "", 0)
 	}
 	s.publishCacheGauges()
 	w.Header().Set("Content-Type", "video/x-yuv4mpeg")
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(p.data)))
 	w.Header().Set("X-Chunk-Index", strconv.Itoa(i))
-	_, err = w.Write(data)
+	if len(p.degraded) > 0 {
+		w.Header().Set("X-Videoapp-Degraded", strings.Join(p.degraded, ","))
+		s.observer.Counter(obs.CtrServeDegraded, "", 1)
+	}
+	_, err = w.Write(p.data)
 	return err
 }
 
 // materialize is the cold-chunk path: read the chunk's bytes from the
-// archive, decode them, and render the frames as y4m. It runs at most once
-// per chunk under stampede (cache singleflight) and publishes the decode
-// span and counter.
-func (s *Server) materialize(ctx context.Context, i int) ([]byte, error) {
+// archive under the server's fault policy, decode them, and render the
+// frames as y4m. It runs at most once per chunk under stampede (cache
+// singleflight) and publishes the decode span and counter. A degraded read
+// is a success here — the verdict rides the payload into the cache so
+// every response built from it is flagged.
+func (s *Server) materialize(ctx context.Context, i int) (chunkPayload, error) {
 	sp := obs.StartSpan(s.observer, obs.StageServeChunk)
 	defer sp.End()
 	s.observer.Counter(obs.CtrServeDecodes, "", 1)
-	v, _, err := s.archive.ReadChunk(i)
-	if err != nil {
-		return nil, err
+	ctx = obs.With(ctx, s.observer)
+	if s.policySet {
+		ctx = store.ContextWithFaultPolicy(ctx, s.opts.FaultPolicy)
 	}
-	seq, err := codec.DecodeContext(ctx, v, codec.DecodeOptions{}, s.opts.Workers)
+	cr, err := s.archive.ReadChunkContext(ctx, i)
 	if err != nil {
-		return nil, err
+		return chunkPayload{}, err
+	}
+	seq, err := codec.DecodeContext(ctx, cr.Video, codec.DecodeOptions{}, s.opts.Workers)
+	if err != nil {
+		return chunkPayload{}, err
 	}
 	var buf bytes.Buffer
-	buf.Grow(seqSize(len(seq.Frames), v.W, v.H))
+	buf.Grow(seqSize(len(seq.Frames), cr.Video.W, cr.Video.H))
 	if err := y4m.Write(&buf, seq); err != nil {
-		return nil, err
+		return chunkPayload{}, err
 	}
-	return buf.Bytes(), nil
+	return chunkPayload{data: buf.Bytes(), degraded: cr.Degraded}, nil
 }
 
 // seqSize estimates the rendered y4m size of frames 4:2:0 pictures, for

@@ -21,10 +21,10 @@ import (
 	"videoapp/internal/y4m"
 )
 
-// buildArchive encodes a small synthetic video and writes it into an
-// in-memory VACS archive of single-GOP chunks, returning the opened
-// archive.
-func buildArchive(t testing.TB, gops int) *store.ChunkArchive {
+// buildArchiveBytes encodes a small synthetic video and writes it into an
+// in-memory VACS archive of single-GOP chunks, returning the container
+// bytes.
+func buildArchiveBytes(t testing.TB, gops int) []byte {
 	t.Helper()
 	const gopSize = 4
 	cfg, _ := synth.PresetByName("crew_like")
@@ -53,7 +53,13 @@ func buildArchive(t testing.TB, gops int) *store.ChunkArchive {
 			t.Fatal(err)
 		}
 	}
-	a, err := store.OpenChunkArchiveAt(bytes.NewReader(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// buildArchive opens an in-memory archive built by buildArchiveBytes.
+func buildArchive(t testing.TB, gops int) *store.ChunkArchive {
+	t.Helper()
+	a, err := store.OpenChunkArchiveAt(bytes.NewReader(buildArchiveBytes(t, gops)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +101,7 @@ func get(t testing.TB, client *http.Client, url string) (int, []byte) {
 
 func TestServeEndpoints(t *testing.T) {
 	a := buildArchive(t, 3)
-	s := New(a, Options{})
+	s := New(a)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -164,7 +170,7 @@ func TestServeEndpoints(t *testing.T) {
 // read path.
 func TestServeStampedeDecodesOnce(t *testing.T) {
 	a := buildArchive(t, 2)
-	s := New(a, Options{})
+	s := New(a)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	want := wantChunkBody(t, a, 1)
@@ -209,7 +215,7 @@ func TestServeConcurrentRandomChunks(t *testing.T) {
 		want[i] = wantChunkBody(t, a, i)
 	}
 	// Budget of ~1.5 chunks forces eviction churn under concurrency.
-	s := New(a, Options{CacheBytes: int64(len(want[0])) * 3 / 2})
+	s := New(a, WithCacheBytes(int64(len(want[0]))*3/2))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -250,7 +256,7 @@ func TestServeConcurrentRandomChunks(t *testing.T) {
 func TestCacheEvictionRefetches(t *testing.T) {
 	a := buildArchive(t, 2)
 	want0 := wantChunkBody(t, a, 0)
-	s := New(a, Options{CacheBytes: int64(len(want0)) + 16}) // fits one chunk
+	s := New(a, WithCacheBytes(int64(len(want0))+16)) // fits one chunk
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -274,7 +280,7 @@ func TestCacheEvictionRefetches(t *testing.T) {
 
 func TestServeGracefulShutdown(t *testing.T) {
 	a := buildArchive(t, 2)
-	s := New(a, Options{})
+	s := New(a)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -306,14 +312,17 @@ func TestServeGracefulShutdown(t *testing.T) {
 // TestErrorMapping pins the typed-error → status translation.
 func TestErrorMapping(t *testing.T) {
 	a := buildArchive(t, 2)
-	s := New(a, Options{})
+	s := New(a)
 	cases := []struct {
 		err  error
 		want int
 	}{
 		{fmt.Errorf("x: %w", store.ErrChunkNotFound), http.StatusNotFound},
 		{fmt.Errorf("x: %w", store.ErrArchiveClosed), http.StatusServiceUnavailable},
-		{fmt.Errorf("x: %w", store.ErrCorruptRecord), http.StatusInternalServerError},
+		// Damaged or unreadable data is repairable (scrub, mirror), so it
+		// answers 503 + Retry-After rather than a 500 dead end.
+		{fmt.Errorf("x: %w", store.ErrCorruptRecord), http.StatusServiceUnavailable},
+		{fmt.Errorf("x: %w", store.ErrReadFailed), http.StatusServiceUnavailable},
 		{context.DeadlineExceeded, http.StatusServiceUnavailable},
 		{errors.New("opaque"), http.StatusInternalServerError},
 	}
@@ -322,6 +331,9 @@ func TestErrorMapping(t *testing.T) {
 		s.writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, tc.err)
 		if rec.Code != tc.want {
 			t.Fatalf("%v -> %d, want %d", tc.err, rec.Code, tc.want)
+		}
+		if (errors.Is(tc.err, store.ErrCorruptRecord) || errors.Is(tc.err, store.ErrReadFailed)) && rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%v must advertise Retry-After", tc.err)
 		}
 	}
 	// A hung-up client produces no write at all.
@@ -336,7 +348,7 @@ func TestErrorMapping(t *testing.T) {
 // chunk requests into 503s rather than panics or hangs.
 func TestClosedArchive503(t *testing.T) {
 	a := buildArchive(t, 2)
-	s := New(a, Options{})
+	s := New(a)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	if err := a.Close(); err != nil {

@@ -1,14 +1,18 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"sync/atomic"
 
 	"videoapp/internal/codec"
 	"videoapp/internal/core"
+	"videoapp/internal/obs"
 )
 
 // Chunked archive container: the at-rest form of a streamed video, laid out
@@ -17,16 +21,27 @@ import (
 //
 //	magic "VACS" | version | W | H | FPS | GOPSize | GOPsPerChunk
 //	per chunk:   marker "CHNK" | first frame | frame count
-//	             | precise len | pivot len | stream count
+//	             | precise len | pivot len
+//	             | precise CRC | pivot CRC          (version >= 2)
+//	             | stream count
 //	             | per stream: name len | name | bit count | byte len
+//	             |             stream CRC            (version >= 2)
 //	             | precise bytes | pivot bytes | stream bytes
 //
 // Each chunk record is self-describing and the payload lengths are all in
 // its fixed-position header, so a reader indexes the whole container by
-// hopping record headers (seeking past payload bytes) and then reads exactly
+// hopping record headers (seeking past payloads) and then reads exactly
 // one chunk's bytes to serve it. There is no trailing index to rewrite,
 // which is what makes the container append-on-write: new chunks go at the
 // end, concurrent readers keep working from their existing index.
+//
+// Version 2 adds a CRC-32C per region (precise, pivots, one per stream),
+// stored in the record header — i.e. in the precisely-kept part of the
+// container — so the read path can tell exactly which region a substrate
+// error landed in: damage to an approximate stream is detected, isolated
+// and degradable, while damage to the precise region is a hard data error.
+// Version 1 containers remain readable; they just carry no checksums to
+// verify.
 //
 // Within a chunk the split mirrors the paper's reliability boundary exactly
 // as Archive does for a whole video: a precise region (headers with payload
@@ -36,7 +51,10 @@ import (
 var chunkedMagic = [4]byte{'V', 'A', 'C', 'S'}
 var chunkMarker = [4]byte{'C', 'H', 'N', 'K'}
 
-const chunkedVersion = 1
+const chunkedVersion = 2
+
+// castagnoli is the CRC-32C table shared by the writer and the verifier.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ArchiveMeta is the sequence-level header of a chunked archive.
 type ArchiveMeta struct {
@@ -67,22 +85,28 @@ type ChunkInfo struct {
 // one self-describing record — so it runs against any io.Writer, including
 // a network connection or an append-only log.
 type ChunkWriter struct {
-	w      io.Writer
-	meta   ArchiveMeta
-	off    int64
-	chunks []ChunkInfo
-	frames int
+	w       io.Writer
+	meta    ArchiveMeta
+	version byte
+	off     int64
+	chunks  []ChunkInfo
+	frames  int
 }
 
 // NewChunkWriter writes the container header and returns a writer ready to
-// append chunks.
+// append chunks. New containers are written at the current format version
+// (with per-region checksums).
 func NewChunkWriter(w io.Writer, meta ArchiveMeta) (*ChunkWriter, error) {
+	return newChunkWriter(w, meta, chunkedVersion)
+}
+
+func newChunkWriter(w io.Writer, meta ArchiveMeta, version byte) (*ChunkWriter, error) {
 	if meta.W <= 0 || meta.H <= 0 || meta.GOPSize < 1 || meta.GOPsPerChunk < 1 {
 		return nil, fmt.Errorf("store: invalid archive meta %+v", meta)
 	}
 	hdr := make([]byte, 0, archiveHeaderLen)
 	hdr = append(hdr, chunkedMagic[:]...)
-	hdr = append(hdr, chunkedVersion)
+	hdr = append(hdr, version)
 	hdr = appendU32(hdr, uint32(meta.W))
 	hdr = appendU32(hdr, uint32(meta.H))
 	hdr = appendU32(hdr, uint32(meta.FPS))
@@ -91,7 +115,7 @@ func NewChunkWriter(w io.Writer, meta ArchiveMeta) (*ChunkWriter, error) {
 	if _, err := w.Write(hdr); err != nil {
 		return nil, fmt.Errorf("store: writing archive header: %w", err)
 	}
-	return &ChunkWriter{w: w, meta: meta, off: int64(len(hdr))}, nil
+	return &ChunkWriter{w: w, meta: meta, version: version, off: int64(len(hdr))}, nil
 }
 
 // Meta returns the sequence-level header.
@@ -131,6 +155,10 @@ func (cw *ChunkWriter) Append(v *codec.Video, parts []core.FramePartition, first
 	rec = appendU32(rec, uint32(len(v.Frames)))
 	rec = appendU32(rec, uint32(len(precise)))
 	rec = appendU32(rec, uint32(len(pivots)))
+	if cw.version >= 2 {
+		rec = appendU32(rec, crc32.Checksum(precise, castagnoli))
+		rec = appendU32(rec, crc32.Checksum(pivots, castagnoli))
+	}
 	rec = append(rec, byte(len(names)))
 	for _, name := range names {
 		if len(name) > 255 {
@@ -140,6 +168,9 @@ func (cw *ChunkWriter) Append(v *codec.Video, parts []core.FramePartition, first
 		rec = append(rec, name...)
 		rec = binary.BigEndian.AppendUint64(rec, uint64(ss.Bits[name]))
 		rec = appendU32(rec, uint32(len(ss.Streams[name])))
+		if cw.version >= 2 {
+			rec = appendU32(rec, crc32.Checksum(ss.Streams[name], castagnoli))
+		}
 	}
 	if _, err := cw.w.Write(rec); err != nil {
 		return fmt.Errorf("store: writing chunk header: %w", err)
@@ -172,6 +203,8 @@ type chunkRec struct {
 	info       ChunkInfo
 	preciseLen int64
 	pivotLen   int64
+	preciseCRC uint32
+	pivotCRC   uint32
 	streams    []streamRec
 }
 
@@ -179,20 +212,50 @@ type streamRec struct {
 	name  string
 	bits  int64
 	bytes int64
+	crc   uint32
 }
 
 // ChunkArchive is the random-access reader over a chunked container,
 // backed by an io.ReaderAt so that it is safe for unbounded concurrent use:
 // OpenChunkArchiveAt builds the index from the record headers alone —
 // payload bytes are hopped over, never read — and ReadChunk then touches
-// exactly one chunk's bytes through a private section reader, sharing no
-// cursor with other readers. Every method except Close may be called from
-// any number of goroutines simultaneously.
+// exactly one chunk's bytes, sharing no cursor with other readers. Every
+// method except Close may be called from any number of goroutines
+// simultaneously.
+//
+// The archive is the unit of fault tolerance: reads retry transient
+// failures under the configured FaultPolicy, verify per-region checksums
+// on version-2 containers, fall back to the mirror reader when one is
+// configured (WithMirror), and — through ReadChunkContext — degrade
+// gracefully when only approximate streams are damaged. Scrub walks every
+// record proactively and repairs damage in place from the mirror.
 type ChunkArchive struct {
-	r      io.ReaderAt
-	meta   ArchiveMeta
-	recs   []chunkRec
-	closed atomic.Bool
+	r       io.ReaderAt
+	mirror  io.ReaderAt
+	policy  FaultPolicy
+	meta    ArchiveMeta
+	version byte
+	recs    []chunkRec
+	closed  atomic.Bool
+}
+
+// ArchiveOption configures a ChunkArchive at open time.
+type ArchiveOption func(*ChunkArchive)
+
+// WithFaultPolicy sets the archive's fault policy: retry counts, backoff,
+// and checksum verification for every read that is not running under a
+// context carrying its own policy (ContextWithFaultPolicy).
+func WithFaultPolicy(p FaultPolicy) ArchiveOption {
+	return func(a *ChunkArchive) { a.policy = p }
+}
+
+// WithMirror attaches a mirror reader holding a replica of the same
+// container bytes. When a region read from the primary exhausts its
+// retries (I/O failure or checksum mismatch), the read path fetches the
+// region from the mirror instead; Scrub additionally repairs the primary
+// in place from the mirror when the primary also implements io.WriterAt.
+func WithMirror(r io.ReaderAt) ArchiveOption {
+	return func(a *ChunkArchive) { a.mirror = r }
 }
 
 // archiveHeaderLen is the fixed container header size (magic, version and
@@ -205,9 +268,18 @@ const archiveHeaderLen = 25
 // damage — a zero-length or truncated file, bad magic, a damaged chunk
 // header — is reported as an error wrapping ErrCorruptRecord; underlying
 // I/O failures are wrapped with %w and match with errors.Is.
-func OpenChunkArchiveAt(r io.ReaderAt) (*ChunkArchive, error) {
+func OpenChunkArchiveAt(r io.ReaderAt, opts ...ArchiveOption) (*ChunkArchive, error) {
+	a := &ChunkArchive{r: r}
+	for _, o := range opts {
+		o(a)
+	}
+	// The index scan rides the same retry ladder as region reads, so a
+	// device that fails transiently at open time does not kill the open;
+	// EOF passes through untouched (it is the scan's end-of-container
+	// signal, and truncation detection depends on it).
+	scan := io.ReaderAt(&retryAt{r: r, pol: a.policy.withDefaults()})
 	var hdr [archiveHeaderLen]byte
-	if n, err := r.ReadAt(hdr[:], 0); err != nil {
+	if n, err := scan.ReadAt(hdr[:], 0); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("store: %w: archive header truncated at %d of %d bytes", ErrCorruptRecord, n, len(hdr))
 		}
@@ -216,10 +288,10 @@ func OpenChunkArchiveAt(r io.ReaderAt) (*ChunkArchive, error) {
 	if [4]byte(hdr[:4]) != chunkedMagic {
 		return nil, fmt.Errorf("store: %w: bad archive magic", ErrCorruptRecord)
 	}
-	if hdr[4] != chunkedVersion {
+	if hdr[4] < 1 || hdr[4] > chunkedVersion {
 		return nil, fmt.Errorf("store: %w: unsupported archive version %d", ErrCorruptRecord, hdr[4])
 	}
-	a := &ChunkArchive{r: r}
+	a.version = hdr[4]
 	a.meta = ArchiveMeta{
 		W:            int(binary.BigEndian.Uint32(hdr[5:9])),
 		H:            int(binary.BigEndian.Uint32(hdr[9:13])),
@@ -230,10 +302,10 @@ func OpenChunkArchiveAt(r io.ReaderAt) (*ChunkArchive, error) {
 	if a.meta.W <= 0 || a.meta.H <= 0 || a.meta.GOPSize < 1 || a.meta.GOPsPerChunk < 1 {
 		return nil, fmt.Errorf("store: %w: invalid archive meta %+v", ErrCorruptRecord, a.meta)
 	}
-	off := int64(len(hdr))
+	off := int64(archiveHeaderLen)
 	frames := 0
 	for {
-		rec, next, err := readChunkHeader(r, off)
+		rec, next, err := readChunkHeader(scan, off, a.version)
 		if err == io.EOF {
 			break
 		}
@@ -255,15 +327,38 @@ func OpenChunkArchiveAt(r io.ReaderAt) (*ChunkArchive, error) {
 // also implements io.ReaderAt (os.File, bytes.Reader do) it is used
 // directly; otherwise reads are serialized behind a mutex-guarded
 // seek-and-read adapter, so concurrent ReadChunk calls remain correct but
-// lose their parallelism.
-//
-// Deprecated: use OpenChunkArchiveAt, which serves parallel readers without
-// any serialization.
-func OpenChunkArchive(r io.ReadSeeker) (*ChunkArchive, error) {
+// lose their parallelism. New code should prefer OpenChunkArchiveAt.
+func OpenChunkArchive(r io.ReadSeeker, opts ...ArchiveOption) (*ChunkArchive, error) {
 	if ra, ok := r.(io.ReaderAt); ok {
-		return OpenChunkArchiveAt(ra)
+		return OpenChunkArchiveAt(ra, opts...)
 	}
-	return OpenChunkArchiveAt(&seekerAt{r: r})
+	return OpenChunkArchiveAt(&seekerAt{r: r}, opts...)
+}
+
+// retryAt wraps a ReaderAt with the fault policy's retry ladder for the
+// open-time index scan: transient errors are retried with the same backoff
+// as region reads, while EOF-class results return immediately — they are
+// how the scan detects the end (or truncation) of the container.
+type retryAt struct {
+	r   io.ReaderAt
+	pol FaultPolicy
+}
+
+func (ra *retryAt) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	var err error
+	for attempt := 0; attempt <= ra.pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if serr := sleepBackoff(context.Background(), ra.pol, off, attempt); serr != nil {
+				break
+			}
+		}
+		n, err = ra.r.ReadAt(p, off)
+		if err == nil || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return n, err
+		}
+	}
+	return n, err
 }
 
 // seekerAt adapts a bare io.ReadSeeker to io.ReaderAt by serializing
@@ -293,14 +388,20 @@ func (s *seekerAt) ReadAt(p []byte, off int64) (int, error) {
 // and the offset of the next record. It reads only the header bytes; the
 // payload is hopped over by offset arithmetic. io.EOF reports a clean end of
 // the container; any partial header is ErrCorruptRecord.
-func readChunkHeader(r io.ReaderAt, off int64) (chunkRec, int64, error) {
-	// A chunk header is at most 21 fixed bytes plus 255 stream entries of at
-	// most 268 bytes each; the section reader bounds what one record may
-	// consume without ever touching payload ranges (entries are read
-	// front-to-back and sized before each read).
-	sr := io.NewSectionReader(r, off, 21+255*(1+255+12))
-	var fixed [21]byte
-	if _, err := io.ReadFull(sr, fixed[:]); err != nil {
+func readChunkHeader(r io.ReaderAt, off int64, version byte) (chunkRec, int64, error) {
+	fixedLen := 21
+	entryExtra := 12
+	if version >= 2 {
+		fixedLen = 29   // + precise CRC + pivot CRC
+		entryExtra = 16 // + stream CRC
+	}
+	// A chunk header is the fixed part plus at most 255 stream entries of
+	// bounded size; the section reader bounds what one record may consume
+	// without ever touching payload ranges (entries are read front-to-back
+	// and sized before each read).
+	sr := io.NewSectionReader(r, off, int64(fixedLen+255*(1+255+entryExtra)))
+	fixed := make([]byte, fixedLen)
+	if _, err := io.ReadFull(sr, fixed); err != nil {
 		if err == io.EOF {
 			return chunkRec{}, 0, io.EOF
 		}
@@ -317,18 +418,22 @@ func readChunkHeader(r io.ReaderAt, off int64) (chunkRec, int64, error) {
 		preciseLen: int64(binary.BigEndian.Uint32(fixed[12:16])),
 		pivotLen:   int64(binary.BigEndian.Uint32(fixed[16:20])),
 	}
+	if version >= 2 {
+		rec.preciseCRC = binary.BigEndian.Uint32(fixed[20:24])
+		rec.pivotCRC = binary.BigEndian.Uint32(fixed[24:28])
+	}
 	if rec.info.Frames < 1 || rec.info.Frames > 1<<20 {
 		return chunkRec{}, 0, fmt.Errorf("store: %w: implausible chunk frame count %d", ErrCorruptRecord, rec.info.Frames)
 	}
-	nStreams := int(fixed[20])
-	hdrLen := int64(len(fixed))
+	nStreams := int(fixed[fixedLen-1])
+	hdrLen := int64(fixedLen)
 	payload := rec.preciseLen + rec.pivotLen
 	for s := 0; s < nStreams; s++ {
 		var nameLen [1]byte
 		if _, err := io.ReadFull(sr, nameLen[:]); err != nil {
 			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
 		}
-		entry := make([]byte, int(nameLen[0])+12)
+		entry := make([]byte, int(nameLen[0])+entryExtra)
 		if _, err := io.ReadFull(sr, entry); err != nil {
 			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
 		}
@@ -336,7 +441,10 @@ func readChunkHeader(r io.ReaderAt, off int64) (chunkRec, int64, error) {
 		rs := streamRec{
 			name:  name,
 			bits:  int64(binary.BigEndian.Uint64(entry[nameLen[0] : nameLen[0]+8])),
-			bytes: int64(binary.BigEndian.Uint32(entry[nameLen[0]+8:])),
+			bytes: int64(binary.BigEndian.Uint32(entry[nameLen[0]+8 : nameLen[0]+12])),
+		}
+		if version >= 2 {
+			rs.crc = binary.BigEndian.Uint32(entry[nameLen[0]+12:])
 		}
 		if rs.bits < 0 || rs.bytes < 0 || rs.bits > rs.bytes*8 {
 			return chunkRec{}, 0, fmt.Errorf("store: %w: stream %q: %d bits in %d bytes", ErrCorruptRecord, name, rs.bits, rs.bytes)
@@ -352,6 +460,10 @@ func readChunkHeader(r io.ReaderAt, off int64) (chunkRec, int64, error) {
 
 // Meta returns the sequence-level header.
 func (a *ChunkArchive) Meta() ArchiveMeta { return a.meta }
+
+// Version returns the container format version (1: no checksums,
+// 2: per-region CRC-32C).
+func (a *ChunkArchive) Version() int { return int(a.version) }
 
 // NumChunks returns the number of chunks in the container.
 func (a *ChunkArchive) NumChunks() int { return len(a.recs) }
@@ -383,62 +495,195 @@ func (a *ChunkArchive) Close() error {
 	return nil
 }
 
-// ReadChunk reads and reassembles chunk i: the returned video carries
-// chunk-local frame indices (its first frame is index 0) and decodes on its
-// own, because chunk boundaries are closed-GOP boundaries. Exactly the
-// chunk's payload byte range [Info(i).Offset, +Length) is read — other
-// chunks' bytes are never touched. ReadChunk is lock-free and safe to call
-// from any number of goroutines: each call reads through its own section
-// reader over the shared io.ReaderAt. Unknown indices report
-// ErrChunkNotFound, reads after Close report ErrArchiveClosed, and damaged
-// payloads report ErrCorruptRecord; all are matched with errors.Is.
-func (a *ChunkArchive) ReadChunk(i int) (*codec.Video, []core.FramePartition, error) {
+// resolvePolicy picks the effective fault policy for one call: a context
+// override wins, then the archive's configured policy, then the defaults.
+func (a *ChunkArchive) resolvePolicy(ctx context.Context) FaultPolicy {
+	if p, ok := FaultPolicyFromContext(ctx); ok {
+		return p.withDefaults()
+	}
+	return a.policy.withDefaults()
+}
+
+// verified reports whether region bytes match their recorded checksum;
+// containers without checksums (version 1) always verify.
+func (a *ChunkArchive) verified(pol FaultPolicy, data []byte, crc uint32) bool {
+	if a.version < 2 || pol.SkipVerify {
+		return true
+	}
+	return crc32.Checksum(data, castagnoli) == crc
+}
+
+// readRegion reads one region of one record — the precise bytes, the pivot
+// tables, or a single approximate stream — with the full fault-tolerance
+// ladder: verify-on-read, retry with exponential backoff and deterministic
+// jitter on transient failures and checksum mismatches, then the mirror
+// (nil disables the mirror rung; Scrub exploits that to probe the primary
+// alone). EOF inside the region means the container itself is truncated,
+// which no retry can fix: it reports ErrCorruptRecord immediately. An
+// exhausted ladder reports ErrCorruptRecord when the last failure was a
+// checksum mismatch and ErrReadFailed when the device kept erroring.
+func (a *ChunkArchive) readRegion(ctx context.Context, pol FaultPolicy, o obs.Observer, mirror io.ReaderAt, off, n int64, crc uint32, label string) ([]byte, error) {
+	buf := make([]byte, n)
+	// read attempts one fetch+verify from r; truncated reports the
+	// non-retryable case (the container ends inside the region — no retry
+	// can grow the file).
+	read := func(r io.ReaderAt) (truncated bool, err error) {
+		m, err := r.ReadAt(buf, off)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return true, fmt.Errorf("%w: %s truncated at %d of %d bytes", ErrCorruptRecord, label, m, n)
+			}
+			return false, err
+		}
+		if !a.verified(pol, buf, crc) {
+			o.Counter(obs.CtrCRCFailures, label, 1)
+			return false, fmt.Errorf("%w: %s checksum mismatch", ErrCorruptRecord, label)
+		}
+		return false, nil
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= pol.MaxRetries; attempt++ {
+		if attempt > 0 {
+			o.Counter(obs.CtrReadRetries, "", 1)
+			if err := sleepBackoff(ctx, pol, off, attempt); err != nil {
+				return nil, err
+			}
+		}
+		truncated, err := read(a.r)
+		if err == nil {
+			return buf, nil
+		}
+		lastErr = err
+		if truncated && mirror == nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if truncated {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	if mirror != nil {
+		if _, err := read(mirror); err == nil {
+			o.Counter(obs.CtrMirrorReads, "", 1)
+			return buf, nil
+		}
+	}
+	if errors.Is(lastErr, ErrCorruptRecord) {
+		return nil, fmt.Errorf("store: %w", lastErr)
+	}
+	return nil, fmt.Errorf("store: %w: %s: %v", ErrReadFailed, label, lastErr)
+}
+
+// ChunkRead is the result of one fault-tolerant chunk read.
+type ChunkRead struct {
+	// Video carries chunk-local frame indices and decodes on its own.
+	Video *codec.Video
+	// Parts is the chunk's pivot layout.
+	Parts []core.FramePartition
+	// Degraded lists the approximate streams (by scheme name) that failed
+	// verification after retries and the mirror, and were therefore
+	// replaced by zeroes: the video decodes, at reduced quality, instead
+	// of failing — the paper's degradation contract. Empty for a fully
+	// verified read.
+	Degraded []string
+}
+
+// ReadChunkContext reads and reassembles chunk i under the effective fault
+// policy (context override, then the archive's, then defaults): every
+// region read retries transient failures with backoff, verifies its
+// CRC on version-2 containers, and falls back to the mirror. Damage that
+// survives all of that is classified by the reliability boundary: the
+// precise region and pivot tables are required — their loss is
+// ErrCorruptRecord (or ErrReadFailed when the device, not the data, kept
+// failing) — while a damaged approximate stream is zero-filled and
+// reported in ChunkRead.Degraded, so the caller still gets a decodable
+// video carrying every verified bit.
+func (a *ChunkArchive) ReadChunkContext(ctx context.Context, i int) (ChunkRead, error) {
 	if a.closed.Load() {
-		return nil, nil, fmt.Errorf("store: reading chunk %d: %w", i, ErrArchiveClosed)
+		return ChunkRead{}, fmt.Errorf("store: reading chunk %d: %w", i, ErrArchiveClosed)
 	}
 	if i < 0 || i >= len(a.recs) {
-		return nil, nil, fmt.Errorf("store: %w: chunk %d outside 0..%d", ErrChunkNotFound, i, len(a.recs)-1)
+		return ChunkRead{}, fmt.Errorf("store: %w: chunk %d outside 0..%d", ErrChunkNotFound, i, len(a.recs)-1)
 	}
+	pol := a.resolvePolicy(ctx)
+	o := obs.From(ctx)
 	rec := a.recs[i]
-	r := io.NewSectionReader(a.r, rec.info.Offset, rec.info.Length)
-	precise := make([]byte, rec.preciseLen)
-	if _, err := io.ReadFull(r, precise); err != nil {
-		return nil, nil, fmt.Errorf("store: chunk %d precise region: %w", i, err)
+
+	off := rec.info.Offset
+	precise, err := a.readRegion(ctx, pol, o, a.mirror, off, rec.preciseLen, rec.preciseCRC, "precise")
+	if err != nil {
+		return ChunkRead{}, fmt.Errorf("store: chunk %d precise region: %w", i, err)
 	}
-	pivots := make([]byte, rec.pivotLen)
-	if _, err := io.ReadFull(r, pivots); err != nil {
-		return nil, nil, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
+	pivots, err := a.readRegion(ctx, pol, o, a.mirror, off+rec.preciseLen, rec.pivotLen, rec.pivotCRC, "pivots")
+	if err != nil {
+		return ChunkRead{}, fmt.Errorf("store: chunk %d pivot tables: %w", i, err)
 	}
 	v, err := codec.UnmarshalPrecise(precise)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: %w: chunk %d precise region: %w", ErrCorruptRecord, i, err)
+		return ChunkRead{}, fmt.Errorf("store: %w: chunk %d precise region: %w", ErrCorruptRecord, i, err)
 	}
 	parts, err := core.UnmarshalPartitions(pivots)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: %w: chunk %d pivot tables: %w", ErrCorruptRecord, i, err)
+		return ChunkRead{}, fmt.Errorf("store: %w: chunk %d pivot tables: %w", ErrCorruptRecord, i, err)
 	}
 	if len(parts) != len(v.Frames) {
-		return nil, nil, fmt.Errorf("store: %w: chunk %d: %d pivot tables for %d frames", ErrCorruptRecord, i, len(parts), len(v.Frames))
+		return ChunkRead{}, fmt.Errorf("store: %w: chunk %d: %d pivot tables for %d frames", ErrCorruptRecord, i, len(parts), len(v.Frames))
 	}
 	ss := &core.StreamSet{Parts: parts, Streams: map[string][]byte{}, Bits: map[string]int64{}}
+	var degraded []string
+	soff := off + rec.preciseLen + rec.pivotLen
 	for _, rs := range rec.streams {
-		data := make([]byte, rs.bytes)
-		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, nil, fmt.Errorf("store: chunk %d stream %q: %w", i, rs.name, err)
+		data, err := a.readRegion(ctx, pol, o, a.mirror, soff, rs.bytes, rs.crc, rs.name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ChunkRead{}, ctx.Err()
+			}
+			// The reliability boundary: an approximate stream that cannot
+			// be read or verified costs quality, never availability. Zero
+			// its bits and let the error-resilient decoder conceal.
+			data = make([]byte, rs.bytes)
+			degraded = append(degraded, rs.name)
+			o.Counter(obs.CtrDegradedStreams, rs.name, 1)
 		}
 		ss.Streams[rs.name] = data
 		ss.Bits[rs.name] = rs.bits
+		soff += rs.bytes
 	}
 	merged, err := ss.Merge(v)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: %w: chunk %d: %w", ErrCorruptRecord, i, err)
+		return ChunkRead{}, fmt.Errorf("store: %w: chunk %d: %w", ErrCorruptRecord, i, err)
 	}
-	return merged, parts, nil
+	return ChunkRead{Video: merged, Parts: parts, Degraded: degraded}, nil
+}
+
+// ReadChunk is the strict form of ReadChunkContext: it runs the same
+// fault-tolerance ladder (retries, verification, mirror) under the
+// archive's policy, but treats any unrecovered damage — including a
+// degradable approximate stream — as an error wrapping ErrCorruptRecord.
+// The returned video carries chunk-local frame indices (its first frame is
+// index 0) and decodes on its own, because chunk boundaries are closed-GOP
+// boundaries. ReadChunk is lock-free and safe to call from any number of
+// goroutines. Unknown indices report ErrChunkNotFound and reads after
+// Close report ErrArchiveClosed; all are matched with errors.Is.
+func (a *ChunkArchive) ReadChunk(i int) (*codec.Video, []core.FramePartition, error) {
+	cr, err := a.ReadChunkContext(context.Background(), i)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cr.Degraded) > 0 {
+		return nil, nil, fmt.Errorf("store: %w: chunk %d: streams %v failed verification", ErrCorruptRecord, i, cr.Degraded)
+	}
+	return cr.Video, cr.Parts, nil
 }
 
 // AppendChunkWriter reopens an existing container for appending: it indexes
 // the records already present, positions the stream at the end, and returns
-// a writer that continues where the last chunk stopped.
+// a writer that continues where the last chunk stopped, at the container's
+// own format version (a version-1 container keeps accumulating version-1
+// records; records of mixed layouts never share a container).
 func AppendChunkWriter(rw io.ReadWriteSeeker) (*ChunkWriter, error) {
 	a, err := OpenChunkArchive(rw)
 	if err != nil {
@@ -452,7 +697,7 @@ func AppendChunkWriter(rw io.ReadWriteSeeker) (*ChunkWriter, error) {
 	if _, err := rw.Seek(end, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("store: seeking archive end: %w", err)
 	}
-	cw := &ChunkWriter{w: rw, meta: a.meta, off: end, frames: a.TotalFrames()}
+	cw := &ChunkWriter{w: rw, meta: a.meta, version: a.version, off: end, frames: a.TotalFrames()}
 	for _, rec := range a.recs {
 		cw.chunks = append(cw.chunks, rec.info)
 	}

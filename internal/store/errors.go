@@ -16,4 +16,10 @@ var (
 	ErrCorruptRecord = errors.New("corrupt archive record")
 	// ErrArchiveClosed reports a read on an archive after Close.
 	ErrArchiveClosed = errors.New("archive closed")
+	// ErrReadFailed reports that the underlying reader kept failing after
+	// the fault policy's retries (and the mirror, when one is configured)
+	// were exhausted. Unlike ErrCorruptRecord it describes the device, not
+	// the data: the bytes may be fine, the path to them is not, which is
+	// what the serving layer's circuit breaker keys on.
+	ErrReadFailed = errors.New("archive read failed")
 )

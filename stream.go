@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"videoapp/internal/chunk"
 	"videoapp/internal/codec"
@@ -40,9 +41,30 @@ type (
 	// fronted by a sized LRU decoded-chunk cache with request coalescing.
 	// See the internal/serve package documentation for the endpoints.
 	ChunkServer = serve.Server
-	// ServeOptions configures a ChunkServer (cache budget, decoder
-	// workers, request timeout, drain timeout, extra observer).
+	// ServeOption configures a ChunkServer at construction; see
+	// WithCacheBytes, WithRequestTimeout, WithServeWorkers,
+	// WithDrainTimeout, WithServeObserver and WithFaultPolicy.
+	ServeOption = serve.Option
+	// ServeOptions is the struct form of the server configuration, kept
+	// for the WithServeOptions compatibility shim.
 	ServeOptions = serve.Options
+	// ArchiveOption configures a ChunkArchive at open time; see
+	// WithArchivePolicy and WithMirror.
+	ArchiveOption = store.ArchiveOption
+	// FaultPolicy is the knob set of the fault-tolerant read path: retry
+	// count, backoff, checksum verification and the serving layer's
+	// circuit breaker. The zero value selects every documented default.
+	FaultPolicy = store.FaultPolicy
+	// ChunkRead is the degradation-aware result of reading one chunk:
+	// the reconstructed video, its partitions, and the names of any
+	// approximate streams that could not be recovered and were served
+	// zero-filled.
+	ChunkRead = store.ChunkRead
+	// ScrubReport is the outcome of one Archive scrub pass over every
+	// record of the archive.
+	ScrubReport = store.ScrubReport
+	// ChunkHealth is one chunk's scrub outcome within a ScrubReport.
+	ChunkHealth = store.ChunkHealth
 )
 
 // Typed sentinel errors of the archive read path; match with errors.Is.
@@ -54,6 +76,11 @@ var (
 	ErrCorruptRecord = store.ErrCorruptRecord
 	// ErrArchiveClosed reports a read attempted after ChunkArchive.Close.
 	ErrArchiveClosed = store.ErrArchiveClosed
+	// ErrReadFailed reports a device-level read failure that persisted
+	// after the fault policy's retries (and the mirror, if one is
+	// attached) — the failure class that trips the serving layer's
+	// circuit breaker, as opposed to ErrCorruptRecord's data damage.
+	ErrReadFailed = store.ErrReadFailed
 )
 
 // SequenceSource adapts an in-memory sequence to a ChunkSource. It does not
@@ -73,15 +100,24 @@ func Y4MSource(r io.Reader, name string) (ChunkSource, error) { return chunk.Fro
 // ReadAt, which makes ReadChunk lock-free and safe for any number of
 // concurrent readers (os.File and bytes.Reader both qualify). Zero-length
 // or truncated inputs return an error wrapping ErrCorruptRecord.
-func OpenArchive(r io.ReaderAt) (*ChunkArchive, error) { return store.OpenChunkArchiveAt(r) }
-
-// OpenArchiveSeeker indexes a chunked archive through a seek-cursor
-// reader. When r does not also implement io.ReaderAt, every read is
-// serialized behind a lock, so concurrent ReadChunk calls lose their
-// parallelism.
 //
-// Deprecated: use OpenArchive with an io.ReaderAt.
-func OpenArchiveSeeker(r io.ReadSeeker) (*ChunkArchive, error) { return store.OpenChunkArchive(r) }
+// Options attach a FaultPolicy (WithArchivePolicy) for retrying transient
+// read errors and a mirror reader (WithMirror) for recovering regions the
+// primary cannot serve; both also govern ChunkArchive.Scrub.
+func OpenArchive(r io.ReaderAt, opts ...ArchiveOption) (*ChunkArchive, error) {
+	return store.OpenChunkArchiveAt(r, opts...)
+}
+
+// WithArchivePolicy attaches a FaultPolicy to the archive: every read that
+// does not carry a per-call policy on its context retries and backs off as
+// the policy dictates.
+func WithArchivePolicy(p FaultPolicy) ArchiveOption { return store.WithFaultPolicy(p) }
+
+// WithMirror attaches a second reader holding an identical copy of the
+// archive. Regions the primary cannot serve — persistent read errors or
+// checksum mismatches after retries — are transparently re-read from the
+// mirror, and ChunkArchive.Scrub repairs the primary from it in place.
+func WithMirror(r io.ReaderAt) ArchiveOption { return store.WithMirror(r) }
 
 // NewChunkServer returns the HTTP serving layer over an opened archive:
 // GET /v1/archive (index), /v1/chunks/{i} (decoded frames as YUV4MPEG2),
@@ -91,7 +127,51 @@ func OpenArchiveSeeker(r io.ReadSeeker) (*ChunkArchive, error) { return store.Op
 // ChunkServer.Serve (graceful drain on context cancellation) or mount
 // ChunkServer.Handler under your own http.Server. The archive must outlive
 // the server.
-func NewChunkServer(a *ChunkArchive, opts ServeOptions) *ChunkServer { return serve.New(a, opts) }
+//
+// The read path degrades gracefully: a chunk whose approximate streams
+// fail verification is still served, zero-filled where damaged, with the
+// X-Videoapp-Degraded header naming the lost streams; persistent device
+// failures trip a circuit breaker that sheds requests with
+// 503 + Retry-After instead of queueing more work on a failing device.
+// Configure both through WithFaultPolicy.
+func NewChunkServer(a *ChunkArchive, opts ...ServeOption) *ChunkServer {
+	return serve.New(a, opts...)
+}
+
+// WithCacheBytes bounds the server's decoded-chunk cache by rendered
+// output size; n <= 0 selects the 256 MiB default.
+func WithCacheBytes(n int64) ServeOption { return serve.WithCacheBytes(n) }
+
+// WithRequestTimeout bounds one server request end to end, decode
+// included; d <= 0 selects the 30s default.
+func WithRequestTimeout(d time.Duration) ServeOption { return serve.WithRequestTimeout(d) }
+
+// WithDrainTimeout bounds connection draining during server shutdown;
+// d <= 0 selects the 10s default.
+func WithDrainTimeout(d time.Duration) ServeOption { return serve.WithDrainTimeout(d) }
+
+// WithServeWorkers bounds the server's frame-decode parallelism per cold
+// chunk; n <= 0 selects GOMAXPROCS.
+func WithServeWorkers(n int) ServeOption { return serve.WithWorkers(n) }
+
+// WithServeObserver attaches an observer to the server's own metrics sink;
+// it receives the serve-layer events alongside the built-in /metrics
+// aggregator.
+func WithServeObserver(o Observer) ServeOption { return serve.WithObserver(o) }
+
+// WithFaultPolicy sets the fault policy the server reads chunks under:
+// retry count and backoff, checksum verification, and the circuit
+// breaker's threshold and cooldown.
+func WithFaultPolicy(p FaultPolicy) ServeOption { return serve.WithFaultPolicy(p) }
+
+// WithServeOptions applies a whole ServeOptions struct at once.
+//
+// Deprecated: configure the server with the individual options
+// (WithCacheBytes, WithRequestTimeout, WithServeWorkers, WithDrainTimeout,
+// WithServeObserver, WithFaultPolicy). This shim exists for one release to
+// ease migration from the former NewChunkServer(a, ServeOptions{...})
+// signature and will then be removed.
+func WithServeOptions(o ServeOptions) ServeOption { return serve.WithOptions(o) }
 
 // AppendArchive reopens an existing chunked archive for appending more
 // chunks (append-on-write: earlier bytes are never rewritten).

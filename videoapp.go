@@ -28,8 +28,8 @@
 // seeded storage round trip is a pure function of (video, partitions,
 // seed). The canonical subsystem entry points are context-first
 // (EncodeContext, DecodeContext, AnalyzeContext, MeasureContext) with
-// cooperative cancellation checked at frame boundaries; the context-free
-// and *Parallel names remain as deprecated thin wrappers.
+// cooperative cancellation checked at frame boundaries; pass a background
+// context and workers of 1 for the serial forms.
 //
 // # Serving
 //
@@ -39,10 +39,10 @@
 // stream.go and the internal/serve package documentation.
 //
 // The underlying subsystems are exposed as type aliases so that advanced
-// users can drive them directly: the codec (Encode/Decode), the analysis
-// (Analyze), stream splitting for per-reliability encryption
-// (SplitStreams/EncryptStreams), quality metrics, and the error-correction
-// and substrate models.
+// users can drive them directly: the codec (EncodeContext/DecodeContext),
+// the analysis (AnalyzeContext), stream splitting for per-reliability
+// encryption (SplitStreams/EncryptStreams), quality metrics, and the
+// error-correction and substrate models.
 package videoapp
 
 import (
@@ -182,23 +182,6 @@ func EncodeContext(ctx context.Context, seq *Sequence, p Params, workers int) (*
 	return codec.EncodeParallelContext(ctx, seq, p, workers)
 }
 
-// Encode compresses a raw sequence serially.
-//
-// Deprecated: use EncodeContext, whose output is bit-identical at every
-// worker count; Encode remains as a thin wrapper over it.
-func Encode(seq *Sequence, p Params) (*Video, error) {
-	return EncodeContext(context.Background(), seq, p, 1)
-}
-
-// EncodeParallel encodes GOPs concurrently with output bit-identical to
-// Encode.
-//
-// Deprecated: use EncodeContext, which adds cooperative cancellation on
-// top of the same GOP-parallel encoder.
-func EncodeParallel(seq *Sequence, p Params, workers int) (*Video, error) {
-	return EncodeContext(context.Background(), seq, p, workers)
-}
-
 // DecodeContext is the canonical decode entry point: it reconstructs the
 // display-order sequence over independent closed-GOP spans concurrently
 // (workers <= 0 selects GOMAXPROCS) with cooperative cancellation checked
@@ -209,42 +192,12 @@ func DecodeContext(ctx context.Context, v *Video, workers int) (*Sequence, error
 	return codec.DecodeContext(ctx, v, codec.DecodeOptions{}, workers)
 }
 
-// Decode reconstructs the display-order sequence serially.
-//
-// Deprecated: use DecodeContext, whose output is bit-identical at every
-// worker count; Decode remains as a thin wrapper over it.
-func Decode(v *Video) (*Sequence, error) {
-	return DecodeContext(context.Background(), v, 1)
-}
-
-// DecodeParallel decodes independent closed-GOP spans concurrently.
-//
-// Deprecated: use DecodeContext, which adds cooperative cancellation on
-// top of the same span-parallel decoder.
-func DecodeParallel(v *Video, workers int) (*Sequence, error) {
-	return DecodeContext(context.Background(), v, workers)
-}
-
 // AnalyzeContext is the canonical analysis entry point: it computes the
 // per-macroblock importance map (§4.3) with fan-out over independent spans
 // of the dependency DAG (workers <= 0 selects GOMAXPROCS) and cooperative
 // cancellation; the result is bit-identical at every worker count.
 func AnalyzeContext(ctx context.Context, v *Video, workers int) (*Analysis, error) {
 	return core.AnalyzeContext(ctx, v, core.DefaultOptions(), workers)
-}
-
-// Analyze computes per-macroblock importance (§4.3) serially.
-//
-// Deprecated: use AnalyzeContext, whose result is bit-identical at every
-// worker count; Analyze remains as a thin wrapper over it.
-func Analyze(v *Video) *Analysis {
-	an, err := AnalyzeContext(context.Background(), v, 1)
-	if err != nil {
-		// Unreachable: the only failure mode is context cancellation, and
-		// the background context never cancels.
-		panic(err)
-	}
-	return an
 }
 
 // PaperAssignment returns Table 1's importance-class → scheme mapping.
@@ -285,14 +238,6 @@ func Reanalyze(v *Video) error { return codec.Reanalyze(v) }
 // count.
 func MeasureContext(ctx context.Context, ref, dist *Sequence, workers int) (QualityReport, error) {
 	return quality.MeasureContext(ctx, ref, dist, workers)
-}
-
-// Measure computes all quality metrics between two sequences serially.
-//
-// Deprecated: use MeasureContext, whose result is identical at every
-// worker count; Measure remains as a thin wrapper over it.
-func Measure(ref, dist *Sequence) (QualityReport, error) {
-	return MeasureContext(context.Background(), ref, dist, 1)
 }
 
 // PSNR computes the average luma PSNR between two sequences.

@@ -59,15 +59,15 @@ func TestFacadeEncodeDecode(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 6
 	p.SearchRange = 8
-	v, err := Encode(seq, p)
+	v, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Decode(v)
+	dec, err := decodeSerial(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Measure(seq, dec)
+	rep, err := measureSerial(seq, dec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +81,11 @@ func TestFacadeStreamsAndEncryption(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 6
 	p.SearchRange = 8
-	v, err := Encode(seq, p)
+	v, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	an := Analyze(v)
+	an := analyzeSerial(t, v)
 	parts := an.Partition(PaperAssignment())
 	ss, err := SplitStreams(v, parts)
 	if err != nil {
@@ -114,11 +114,11 @@ func TestFacadeParallelEncode(t *testing.T) {
 	p := DefaultParams()
 	p.GOPSize = 8
 	p.SearchRange = 8
-	serial, err := Encode(seq, p)
+	serial, err := encodeSerial(seq, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := EncodeParallel(seq, p, 3)
+	parallel, err := encodeWorkers(seq, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
