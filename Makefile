@@ -1,19 +1,26 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke chaos-smoke fmt vet
+.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke chaos-smoke fmt vet lint
 
-# check is the full verification gate: vet, build, race-enabled tests, a
-# one-iteration compile-and-run pass over every benchmark so the perf harness
-# cannot rot, and end-to-end smokes of the chunk server (clean and under
-# injected faults). Tests run shuffled so inter-test ordering dependencies
-# cannot hide.
-check: vet build race bench-smoke serve-smoke chaos-smoke
+# check is the full verification gate: vet, lint, build, race-enabled tests,
+# a one-iteration compile-and-run pass over every benchmark so the perf
+# harness cannot rot, and end-to-end smokes of the chunk server (clean and
+# under injected faults). Tests run shuffled so inter-test ordering
+# dependencies cannot hide.
+check: vet lint build race bench-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck at the version pinned in scripts/lint.sh: a binary
+# on PATH wins, otherwise the pinned module version is fetched via the
+# module proxy; offline machines warn and skip (CI has network and
+# enforces).
+lint:
+	./scripts/lint.sh
 
 test:
 	$(GO) test -shuffle=on ./...

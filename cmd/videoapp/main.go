@@ -37,6 +37,19 @@
 // (-cache-mb) and per-request timeouts (-req-timeout). Ctrl-C drains
 // in-flight connections before exiting.
 //
+// With -archive-dir the serve command becomes a multi-archive catalog:
+//
+//	videoapp serve -archive-dir /data/archives -addr :8080
+//
+// Every *.vacs file in the directory is served as an archive named by its
+// basename under /v1/archives/{name}/..., with /v1/archives listing the
+// catalog and the single-archive /v1 routes aliasing the first archive
+// (sorted order). Archives open lazily on first request, close again after
+// -idle-timeout of disuse, and share one decoded-chunk cache. SIGHUP
+// rescans the directory without a restart: new files are added to the
+// catalog and vanished ones removed, while untouched archives keep
+// serving.
+//
 // The archive read path (serve, chunk, scrub) is fault-tolerant:
 // -read-retries and -breaker-threshold tune the retry/shed policy,
 // -mirror FILE attaches a second copy for transparent recovery and scrub
@@ -54,7 +67,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/pprof"
+	"strings"
+	"syscall"
 	"time"
 
 	"videoapp"
@@ -85,9 +101,11 @@ type options struct {
 	cpuprofile string
 	traceOut   string
 	archive    string
+	archiveDir string
 	addr       string
 	cacheMB    int
 	reqTimeout time.Duration
+	idleTime   time.Duration
 
 	// Fault-tolerance knobs of the archive read path (serve/chunk/scrub).
 	faultProfile     string
@@ -135,9 +153,11 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to FILE; samples carry stage= pprof labels")
 	fs.StringVar(&o.traceOut, "trace-out", "", "stream pipeline events to FILE as JSON lines")
 	fs.StringVar(&o.archive, "archive", "", "serve: .vacs archive to serve (falls back to -in)")
+	fs.StringVar(&o.archiveDir, "archive-dir", "", "serve: directory of *.vacs archives to serve as a catalog (SIGHUP rescans)")
 	fs.StringVar(&o.addr, "addr", ":8080", "serve: listen address")
 	fs.IntVar(&o.cacheMB, "cache-mb", 64, "serve: decoded-chunk cache budget in MiB")
 	fs.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "serve: per-request timeout, decode included")
+	fs.DurationVar(&o.idleTime, "idle-timeout", 0, "serve -archive-dir: close archives unused this long (0 = never)")
 	fs.StringVar(&o.faultProfile, "fault-profile", "", "inject deterministic faults into archive reads: \"seed=N,transient=P,corrupt=P,short=P,latency=D\"")
 	fs.StringVar(&o.mirror, "mirror", "", "second copy of the archive for read recovery and scrub repair")
 	fs.IntVar(&o.readRetries, "read-retries", 0, "archive read retries after the first failure (0 = default of 2, negative disables)")
@@ -221,14 +241,33 @@ func instrumentedRun(ctx context.Context, cmd string, o options) error {
 // combinations that contradict each other.
 func (o options) validate(cmd string) error {
 	switch cmd {
-	case "serve", "scrub":
+	case "serve":
+		if o.archiveDir == "" && o.archive == "" && o.in == "" {
+			return fmt.Errorf("the serve command requires -archive FILE (or -in FILE, or -archive-dir DIR)")
+		}
+		if o.archiveDir != "" && (o.archive != "" || o.in != "") {
+			return fmt.Errorf("-archive-dir conflicts with -archive/-in (serve one archive or a directory, not both)")
+		}
+		if o.archiveDir != "" && o.mirror != "" {
+			return fmt.Errorf("-mirror attaches to a single archive and conflicts with -archive-dir")
+		}
+	case "scrub":
 		if o.archive == "" && o.in == "" {
-			return fmt.Errorf("the %s command requires -archive FILE (or -in FILE)", cmd)
+			return fmt.Errorf("the scrub command requires -archive FILE (or -in FILE)")
 		}
 	case "chunk":
 		if o.in == "" {
 			return fmt.Errorf("the chunk command requires -in ARCHIVE")
 		}
+	}
+	if o.archiveDir != "" && cmd != "serve" {
+		return fmt.Errorf("-archive-dir only applies to the serve command")
+	}
+	if o.idleTime < 0 {
+		return fmt.Errorf("-idle-timeout %v must be >= 0", o.idleTime)
+	}
+	if o.idleTime > 0 && o.archiveDir == "" {
+		return fmt.Errorf("-idle-timeout only applies to serve -archive-dir (a single -archive is never idle-closed)")
 	}
 	if o.stream && cmd != "store" {
 		return fmt.Errorf("-stream only applies to the store command (the %s command is always chunked)", cmd)
@@ -645,6 +684,9 @@ func run(ctx context.Context, cmd string, o options) error {
 		}
 		return nil
 	case "serve":
+		if o.archiveDir != "" {
+			return o.serveCatalog(ctx)
+		}
 		path := o.archive
 		if path == "" {
 			path = o.in
@@ -654,16 +696,7 @@ func run(ctx context.Context, cmd string, o options) error {
 			return err
 		}
 		defer closeArchive()
-		srvOpts := []videoapp.ServeOption{
-			videoapp.WithCacheBytes(int64(o.cacheMB) << 20),
-			videoapp.WithServeWorkers(o.workers),
-			videoapp.WithRequestTimeout(o.reqTimeout),
-			videoapp.WithFaultPolicy(o.faultPolicy()),
-		}
-		if o.trace != nil {
-			srvOpts = append(srvOpts, videoapp.WithServeObserver(o.trace))
-		}
-		srv := videoapp.NewChunkServer(a, srvOpts...)
+		srv := videoapp.NewChunkServer(a, o.serveOptions()...)
 		l, err := net.Listen("tcp", o.addr)
 		if err != nil {
 			return err
@@ -711,6 +744,154 @@ func run(ctx context.Context, cmd string, o options) error {
 	default:
 		return fmt.Errorf("unknown command %q (want gen|encode|decode|info|analyze|store|archive|chunk|serve|scrub|presets)", cmd)
 	}
+}
+
+// serveOptions maps the serve flags onto the server/catalog options shared
+// by both serve modes.
+func (o options) serveOptions() []videoapp.ServeOption {
+	opts := []videoapp.ServeOption{
+		videoapp.WithCacheBytes(int64(o.cacheMB) << 20),
+		videoapp.WithServeWorkers(o.workers),
+		videoapp.WithRequestTimeout(o.reqTimeout),
+		videoapp.WithFaultPolicy(o.faultPolicy()),
+	}
+	if o.trace != nil {
+		opts = append(opts, videoapp.WithServeObserver(o.trace))
+	}
+	return opts
+}
+
+// openBackend returns an ArchiveSpec.Open for path: a read-only file
+// backend, wrapped in the -fault-profile injector when one is configured.
+// The catalog calls it anew on every lazy (re)open, so the injector's fault
+// sequence restarts from its seed each time.
+func (o options) openBackend(path string) func() (videoapp.Backend, error) {
+	return func() (videoapp.Backend, error) {
+		b, err := videoapp.OpenFileBackend(path, false)
+		if err != nil {
+			return nil, err
+		}
+		if o.faultProfile != "" {
+			prof, err := faultio.ParseProfile(o.faultProfile)
+			if err != nil {
+				b.Close()
+				return nil, err
+			}
+			return faultio.Wrap(b, prof), nil
+		}
+		return b, nil
+	}
+}
+
+// archiveSpecs scans -archive-dir for *.vacs files and returns one spec per
+// file, named by basename, in sorted order (the first becomes the catalog's
+// default archive).
+func (o options) archiveSpecs() ([]videoapp.ArchiveSpec, error) {
+	entries, err := os.ReadDir(o.archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	var specs []videoapp.ArchiveSpec
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".vacs") {
+			continue
+		}
+		specs = append(specs, videoapp.ArchiveSpec{
+			Name:    strings.TrimSuffix(e.Name(), ".vacs"),
+			Open:    o.openBackend(filepath.Join(o.archiveDir, e.Name())),
+			Options: []videoapp.ArchiveOption{videoapp.WithArchivePolicy(o.faultPolicy())},
+		})
+	}
+	return specs, nil
+}
+
+// rescanCatalog diffs -archive-dir against the catalog's current members:
+// vanished archives are removed (their cached chunks purged), new files
+// added. Archives present on both sides are left untouched — they keep
+// serving and keep their cache entries.
+func (o options) rescanCatalog(cat *videoapp.Catalog) error {
+	specs, err := o.archiveSpecs()
+	if err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, s := range specs {
+		want[s.Name] = true
+	}
+	for _, name := range cat.Names() {
+		if !want[name] {
+			if err := cat.Remove(name); err == nil {
+				fmt.Printf("rescan: removed archive %q\n", name)
+			}
+		}
+	}
+	have := map[string]bool{}
+	for _, name := range cat.Names() {
+		have[name] = true
+	}
+	for _, s := range specs {
+		if have[s.Name] {
+			continue
+		}
+		if err := cat.Add(s); err != nil {
+			fmt.Printf("rescan: skipping %q: %v\n", s.Name, err)
+			continue
+		}
+		fmt.Printf("rescan: added archive %q\n", s.Name)
+	}
+	return nil
+}
+
+// serveCatalog is serve -archive-dir: a lazily-opened catalog over every
+// .vacs file in the directory, rescanned on SIGHUP.
+func (o options) serveCatalog(ctx context.Context) error {
+	specs, err := o.archiveSpecs()
+	if err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no *.vacs archives in %s", o.archiveDir)
+	}
+	srvOpts := o.serveOptions()
+	if o.idleTime > 0 {
+		srvOpts = append(srvOpts, videoapp.WithIdleTimeout(o.idleTime))
+	}
+	cat, err := videoapp.NewCatalog(specs, srvOpts...)
+	if err != nil {
+		return err
+	}
+	defer cat.Close()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-hup:
+				if err := o.rescanCatalog(cat); err != nil {
+					fmt.Printf("rescan: %v\n", err)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %d archives from %s on http://%s (default %q; SIGHUP rescans)\n",
+		len(specs), o.archiveDir, l.Addr(), cat.DefaultName())
+	err = cat.Serve(ctx, l)
+	if o.mtr != nil {
+		snap := cat.Metrics().Snapshot()
+		fmt.Println("-- serve metrics --")
+		snap.WriteText(os.Stdout)
+	}
+	fmt.Println("server drained, exiting")
+	return err
 }
 
 func writeOut(path string, write func(*os.File) error) error {

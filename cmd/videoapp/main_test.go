@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"videoapp"
 )
 
 // TestCLIValidation drives cliMain the way main does and checks the exit
@@ -103,6 +105,36 @@ func TestCLIValidation(t *testing.T) {
 			exit:   1,
 			stderr: "no such file",
 		},
+		{
+			name:   "archive-dir conflicts with archive",
+			args:   []string{"-archive", "x.vacs", "-archive-dir", t.TempDir(), "serve"},
+			exit:   2,
+			stderr: "-archive-dir conflicts",
+		},
+		{
+			name:   "archive-dir conflicts with mirror",
+			args:   []string{"-archive-dir", t.TempDir(), "-mirror", "m.vacs", "serve"},
+			exit:   2,
+			stderr: "-mirror",
+		},
+		{
+			name:   "archive-dir outside serve",
+			args:   []string{"-archive-dir", t.TempDir(), "presets"},
+			exit:   2,
+			stderr: "only applies to the serve command",
+		},
+		{
+			name:   "idle-timeout without archive-dir",
+			args:   []string{"-idle-timeout", "1m", "-archive", "x.vacs", "serve"},
+			exit:   2,
+			stderr: "-idle-timeout",
+		},
+		{
+			name:   "serve over an empty archive dir",
+			args:   []string{"-archive-dir", t.TempDir(), "serve"},
+			exit:   1,
+			stderr: "no *.vacs archives",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -116,6 +148,89 @@ func TestCLIValidation(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCLICatalogRescan exercises the -archive-dir machinery beneath the
+// serve command without binding a socket: the directory scan names archives
+// by basename in sorted order (first = default), and a rescan — the SIGHUP
+// handler's body — adds new files and removes vanished ones while the
+// survivors keep serving.
+func TestCLICatalogRescan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real archive")
+	}
+	dir := t.TempDir()
+	seedPath := filepath.Join(dir, "alpha.vacs")
+
+	var stderr bytes.Buffer
+	args := []string{"-preset", "news_like", "-w", "64", "-h", "48", "-frames", "8", "-gop", "4", "-o", seedPath, "archive"}
+	if got := cliMain(args, &stderr); got != 0 {
+		t.Fatalf("archive: exit %d (stderr: %s)", got, stderr.String())
+	}
+	data, err := os.ReadFile(seedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "beta.vacs"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-archive files are ignored by the scan.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{archiveDir: dir}
+	specs, err := o.archiveSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "alpha" || specs[1].Name != "beta" {
+		t.Fatalf("archiveSpecs = %+v, want alpha, beta", specs)
+	}
+	cat, err := videoapp.NewCatalog(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	if def := cat.DefaultName(); def != "alpha" {
+		t.Fatalf("default archive %q, want first sorted %q", def, "alpha")
+	}
+	// The specs open real archives lazily.
+	a, err := videoapp.OpenArchiveBackend(mustOpenBackend(t, specs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChunks() == 0 {
+		t.Fatal("scanned archive has no chunks")
+	}
+	a.Close()
+
+	// The SIGHUP body: beta vanishes, gamma appears.
+	if err := os.Remove(filepath.Join(dir, "beta.vacs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "gamma.vacs"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.rescanCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	if names := cat.Names(); len(names) != 2 || names[0] != "alpha" || names[1] != "gamma" {
+		t.Fatalf("post-rescan catalog = %v, want [alpha gamma]", names)
+	}
+	if def := cat.DefaultName(); def != "alpha" {
+		t.Fatalf("rescan moved the default to %q", def)
+	}
+}
+
+func mustOpenBackend(t *testing.T, spec videoapp.ArchiveSpec) videoapp.Backend {
+	t.Helper()
+	b, err := spec.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
 }
 
 // TestCLIScrubRoundTrip exercises the scrub command end to end: a clean

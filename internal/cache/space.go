@@ -1,0 +1,82 @@
+package cache
+
+import "context"
+
+// Keyed is a namespaced cache key: the same inner key in two spaces is two
+// distinct entries. It is how one cost-bounded cache is shared by many
+// tenants (the serving catalog's archives) while staying a single LRU — the
+// budget and the recency order are global, so a hot tenant naturally
+// displaces a cold one instead of each tenant hoarding a fixed slice.
+type Keyed[K comparable] struct {
+	// Space names the partition (a catalog archive, say). Spaces are free:
+	// an unused space occupies nothing.
+	Space string
+	// Key is the inner key within the space.
+	Key K
+}
+
+// Space is a view of a shared cache scoped to one namespace. All views over
+// the same Cache share its budget, LRU order, and singleflight table;
+// operations through a view touch only that namespace's entries. The view
+// is stateless and safe for concurrent use.
+type Space[K comparable, V any] struct {
+	c    *Cache[Keyed[K], V]
+	name string
+}
+
+// In returns the view of c scoped to the named space.
+func In[K comparable, V any](c *Cache[Keyed[K], V], name string) Space[K, V] {
+	return Space[K, V]{c: c, name: name}
+}
+
+// Name returns the namespace this view is scoped to.
+func (s Space[K, V]) Name() string { return s.name }
+
+// Get returns the cached value for key within the space.
+func (s Space[K, V]) Get(key K) (V, bool) {
+	return s.c.Get(Keyed[K]{Space: s.name, Key: key})
+}
+
+// Add inserts or replaces the value for key within the space, evicting the
+// globally least-recently-used entries (any space) to fit the shared budget.
+func (s Space[K, V]) Add(key K, val V) {
+	s.c.Add(Keyed[K]{Space: s.name, Key: key}, val)
+}
+
+// Remove drops key from the space, reporting whether it was resident.
+func (s Space[K, V]) Remove(key K) bool {
+	return s.c.Remove(Keyed[K]{Space: s.name, Key: key})
+}
+
+// GetOrLoad is Cache.GetOrLoad scoped to the space: singleflight is per
+// (space, key), so the same chunk index loading in two spaces runs two
+// loads, while a stampede on one (space, key) still runs exactly one.
+func (s Space[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, error) {
+	return s.c.GetOrLoad(ctx, Keyed[K]{Space: s.name, Key: key}, load)
+}
+
+// Purge drops every resident entry in the space and returns the count. In-
+// flight loads keyed to the space are not interrupted; their results land
+// after the purge and age out through the shared LRU. Callers that must
+// keep stale results unreachable should retire the space name itself (open
+// the tenant under a fresh generation suffix) rather than rely on Purge
+// racing the loads.
+func (s Space[K, V]) Purge() int {
+	return s.c.RemoveIf(func(k Keyed[K]) bool { return k.Space == s.name })
+}
+
+// RemoveIf drops every resident entry whose key matches pred, returning the
+// number removed. It holds the cache lock for the scan: pred must be fast
+// and must not touch the cache.
+func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.entries {
+		if pred(key) {
+			c.removeLocked(el)
+			removed++
+		}
+	}
+	return removed
+}

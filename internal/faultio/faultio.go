@@ -1,9 +1,16 @@
 // Package faultio is a deterministic fault-injection layer for the archive
-// read path: an io.ReaderAt wrapper that injects the paper's §5 error
+// read path: a storage-backend decorator that injects the paper's §5 error
 // classes — persistent bit flips in stored data, transient device errors,
 // short reads, and access latency — as a pure function of a seed and the
 // read sequence, so every test, benchmark and chaos run that replays the
 // same reads against the same seed sees the identical fault sequence.
+//
+// The decorator composes with any backend: Wrap takes the full Backend
+// surface (ReadAt/WriteAt/Size/Close — structurally identical to
+// store.Backend, declared locally so this package stays dependency-free)
+// and returns a Reader that is itself a Backend, faulting reads while
+// passing writes, size queries and lifecycle through untouched. New is the
+// narrower form for wrapping a bare io.ReaderAt.
 //
 // Fault decisions are drawn from a splitmix64 hash of (seed, offset,
 // length[, attempt]):
@@ -41,6 +48,17 @@ import (
 // faults with errors.Is; corruption is silent by design — it surfaces only
 // through checksum verification downstream.
 var ErrInjected = errors.New("injected I/O fault")
+
+// Backend is the storage surface this package decorates. It is structurally
+// identical to store.Backend — declared here, not imported, so faultio
+// depends on nothing and any store backend (file, memory, snapshot, or
+// another decorator) satisfies it as-is.
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+	Size() (int64, error)
+	Close() error
+}
 
 // Profile configures the injected fault mix. The zero value injects
 // nothing and passes every read through untouched.
@@ -143,13 +161,15 @@ type Stats struct {
 	Transient, Short, Corrupt int64
 }
 
-// Reader wraps an io.ReaderAt with deterministic fault injection. It is
-// safe for concurrent use. If the underlying reader also implements
-// io.WriterAt, writes pass through unfaulted (so scrub repairs reach the
-// backing store).
+// Reader wraps a storage backend (or bare io.ReaderAt) with deterministic
+// fault injection. It is safe for concurrent use and is itself a Backend:
+// reads are faulted, while writes, Size and Close pass through unfaulted
+// (so scrub repairs reach the backing store and lifecycle stays with the
+// decorated backend).
 type Reader struct {
-	r    io.ReaderAt
-	prof Profile
+	r       io.ReaderAt
+	backend Backend // nil when wrapping a bare io.ReaderAt via New
+	prof    Profile
 
 	mu       sync.Mutex
 	attempts map[[2]int64]uint64
@@ -161,9 +181,21 @@ type Reader struct {
 	corrupt   atomic.Int64
 }
 
-// New wraps r with fault injection under prof.
+// New wraps a bare io.ReaderAt with fault injection under prof. The result
+// still exposes the full Backend surface, degraded where the underlying
+// reader cannot support it: Size errors unless r implements
+// Size() (int64, error), and Close closes r only if it is an io.Closer.
+// Prefer Wrap when a full Backend is available.
 func New(r io.ReaderAt, prof Profile) *Reader {
 	return &Reader{r: r, prof: prof, attempts: map[[2]int64]uint64{}}
+}
+
+// Wrap decorates a full storage backend with fault injection under prof.
+// The returned Reader satisfies Backend (and, structurally, store.Backend),
+// so a faulted file, memory region or snapshot drops into any place a clean
+// backend goes — an archive open, a serving catalog entry, a scrub pass.
+func Wrap(b Backend, prof Profile) *Reader {
+	return &Reader{r: b, backend: b, prof: prof, attempts: map[[2]int64]uint64{}}
 }
 
 // splitmix64 is the standard splitmix64 finalizer: a bijective avalanche
@@ -231,14 +263,39 @@ func (f *Reader) ReadAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-// WriteAt passes writes through to the underlying reader when it also
-// implements io.WriterAt (repairs are never faulted), and reports an error
-// otherwise.
+// WriteAt passes writes through to the underlying backend or writer
+// (repairs are never faulted), and reports an error when the underlying
+// reader cannot accept writes.
 func (f *Reader) WriteAt(p []byte, off int64) (int, error) {
 	if w, ok := f.r.(io.WriterAt); ok {
 		return w.WriteAt(p, off)
 	}
 	return 0, fmt.Errorf("faultio: underlying %T is not an io.WriterAt", f.r)
+}
+
+// Size passes through to the decorated backend — container length is a
+// control-plane query, never faulted. A Reader over a bare io.ReaderAt
+// reports Size only if the reader happens to implement it.
+func (f *Reader) Size() (int64, error) {
+	if f.backend != nil {
+		return f.backend.Size()
+	}
+	if s, ok := f.r.(interface{ Size() (int64, error) }); ok {
+		return s.Size()
+	}
+	return 0, fmt.Errorf("faultio: underlying %T does not report its size", f.r)
+}
+
+// Close closes the decorated backend (or the underlying io.Closer, if any).
+// Lifecycle is pass-through: closing the decorator closes the medium.
+func (f *Reader) Close() error {
+	if f.backend != nil {
+		return f.backend.Close()
+	}
+	if c, ok := f.r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Stats returns the current fault counters.

@@ -239,9 +239,73 @@ func TestWriteAtPassthrough(t *testing.T) {
 	}
 }
 
-// memFile is a tiny in-memory ReaderAt+WriterAt.
+// TestWrapIsABackendDecorator: Wrap composes over a full backend — reads
+// are faulted while Size and Close pass straight through, and the decorated
+// Reader satisfies Backend itself so decorators stack.
+func TestWrapIsABackendDecorator(t *testing.T) {
+	mem := &memFile{data: backing(4096)}
+	f := Wrap(mem, Profile{Seed: 3, CorruptRate: 0.3})
+	var _ Backend = f
+
+	if sz, err := f.Size(); err != nil || sz != 4096 {
+		t.Fatalf("Size = %d, %v; want 4096", sz, err)
+	}
+	sawCorrupt := false
+	for off := int64(0); off+128 <= 4096; off += 128 {
+		buf := make([]byte, 128)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, mem.data[off:off+128]) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("decorated backend injected no corruption at rate 0.3")
+	}
+	if _, err := f.WriteAt([]byte{9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mem.data[0] != 9 {
+		t.Fatal("write did not reach the decorated backend")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.closed {
+		t.Fatal("Close did not reach the decorated backend")
+	}
+
+	// Decorators stack: a Reader over a Reader is still a Backend.
+	stacked := Wrap(Wrap(&memFile{data: backing(64)}, Profile{}), Profile{})
+	if sz, err := stacked.Size(); err != nil || sz != 64 {
+		t.Fatalf("stacked Size = %d, %v; want 64", sz, err)
+	}
+}
+
+// TestNewBareReaderBackendSurface: a Reader over a bare io.ReaderAt still
+// exposes the Backend surface, degraded — Size errors, Close is a no-op.
+func TestNewBareReaderBackendSurface(t *testing.T) {
+	f := New(bytes.NewReader(backing(16)), Profile{})
+	if _, err := f.Size(); err == nil {
+		t.Fatal("Size over a bare reader must error")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close over a bare reader must be a no-op, got %v", err)
+	}
+}
+
+// memFile is a tiny in-memory backend (ReaderAt+WriterAt+Size+Close).
 type memFile struct {
-	data []byte
+	data   []byte
+	closed bool
+}
+
+func (m *memFile) Size() (int64, error) { return int64(len(m.data)), nil }
+
+func (m *memFile) Close() error {
+	m.closed = true
+	return nil
 }
 
 func (m *memFile) ReadAt(p []byte, off int64) (int, error) {

@@ -128,6 +128,10 @@ const (
 	GaugeServeCacheHitRate = "serve_cache_hit_rate"
 	// GaugeServeCacheBytes is the resident cost of the decoded-chunk cache.
 	GaugeServeCacheBytes = "serve_cache_bytes"
+	// GaugeCatalogOpenArchives is the number of archives a serving catalog
+	// currently holds open (lazily-opened tenants that have not been
+	// idle-closed, plus any statically attached archive).
+	GaugeCatalogOpenArchives = "serve_catalog_open_archives"
 )
 
 // Observer receives pipeline instrumentation events. Implementations must

@@ -29,7 +29,7 @@ func BenchmarkServeChunk(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if evict {
 				b.StopTimer()
-				s.cache.Remove(0)
+				s.cat.evictCached(DefaultArchiveName, 0)
 				b.StartTimer()
 			}
 			rec := httptest.NewRecorder()

@@ -1,0 +1,705 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videoapp/internal/cache"
+	"videoapp/internal/codec"
+	"videoapp/internal/obs"
+	"videoapp/internal/store"
+	"videoapp/internal/y4m"
+)
+
+// DefaultArchiveName is the tenant name a single-archive Server attaches
+// its archive under, and the name the legacy /v1/... routes alias when a
+// catalog was not told otherwise.
+const DefaultArchiveName = "default"
+
+// ArchiveSpec declares one catalog tenant: a name routable under
+// /v1/archives/{name}/... and a way to open its storage. The backend is
+// opened lazily on the first request and may be closed again after
+// Options.IdleTimeout of disuse; Open must therefore be callable any
+// number of times and return a fresh backend each time.
+type ArchiveSpec struct {
+	// Name routes the archive; it must be non-empty and contain no '/'.
+	Name string
+	// Open produces the archive's storage backend: a file, a memory
+	// region, a snapshot, or any of those behind a faultio decorator. The
+	// catalog owns the returned backend and closes it on idle-close,
+	// Remove, or catalog shutdown.
+	Open func() (store.Backend, error)
+	// Options are applied when the archive is opened over the backend
+	// (WithMirror, WithFaultPolicy, ...).
+	Options []store.ArchiveOption
+	// FaultPolicy, when non-nil, overrides the catalog-wide policy for
+	// this archive's reads and its circuit breaker.
+	FaultPolicy *store.FaultPolicy
+}
+
+// Catalog serves N named archives to many concurrent clients: the
+// multi-tenant storage node. Construct with NewCatalog; all methods are
+// safe for concurrent use. Tenants share one decoded-chunk cache (global
+// budget, global LRU) and one metrics aggregator; each tenant has its own
+// circuit breaker, fault policy, and labeled counters.
+type Catalog struct {
+	opts      Options
+	policySet bool
+	cache     *cache.Cache[cache.Keyed[int], chunkPayload]
+	metrics   *obs.Metrics
+	observer  obs.Observer
+	inFlight  atomic.Int64
+	mux       *http.ServeMux
+
+	mu          sync.Mutex
+	tenants     map[string]*tenant
+	defaultName string
+	open        int // archives currently open, mirrored to the gauge
+}
+
+// chunkPayload is one cached chunk response: the rendered y4m bytes plus
+// the degradation verdict of the read that produced them, so cache hits
+// replay the same X-Videoapp-Degraded header as the original response.
+type chunkPayload struct {
+	data     []byte
+	degraded []string
+}
+
+// tenant is one archive slot of the catalog.
+type tenant struct {
+	name   string
+	spec   ArchiveSpec
+	polSet bool              // thread pol through read contexts
+	pol    store.FaultPolicy // effective policy (spec override or catalog-wide)
+
+	mu      sync.Mutex
+	archive *store.ChunkArchive
+	backend store.Backend // nil for static tenants: the caller owns their archive
+	gen     uint64        // bumped per open; names the cache space
+	static  bool          // attached pre-opened, never idle-closed
+
+	refs    atomic.Int64 // requests currently inside this tenant
+	lastUse atomic.Int64 // unix nanos of the last acquire/release
+
+	breaker breaker
+}
+
+func (t *tenant) touch() { t.lastUse.Store(time.Now().UnixNano()) }
+
+// space names the tenant's current cache namespace. The generation suffix
+// retires the whole namespace when the archive is reopened, so entries
+// cached from a previous open (or loads that land after a close) can never
+// serve a reopened archive.
+func (t *tenant) space() string {
+	return t.name + "#" + strconv.FormatUint(t.gen, 10)
+}
+
+// NewCatalog returns a catalog over the given archive specs. The first
+// spec is the default archive — the one the legacy /v1/archive and
+// /v1/chunks/... routes alias. Names must be unique, non-empty, and
+// contain no '/'. An empty spec list is allowed; archives can be added
+// (and removed) later, which is how the CLI's SIGHUP rescan works.
+func NewCatalog(specs []ArchiveSpec, options ...Option) (*Catalog, error) {
+	c := newCatalog(options)
+	for _, spec := range specs {
+		if err := c.Add(spec); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newCatalog builds an empty catalog with its routes mounted.
+func newCatalog(options []Option) *Catalog {
+	var cfg config
+	for _, o := range options {
+		o(&cfg)
+	}
+	opts := cfg.opts.withDefaults()
+	c := &Catalog{
+		opts:      opts,
+		policySet: cfg.policySet,
+		cache: cache.New[cache.Keyed[int], chunkPayload](opts.CacheBytes, func(p chunkPayload) int64 {
+			return int64(len(p.data))
+		}),
+		metrics: obs.NewMetrics(),
+		tenants: map[string]*tenant{},
+	}
+	c.observer = obs.Multi(c.metrics, opts.Observer)
+	c.observer.Gauge(obs.GaugeCatalogOpenArchives, "", 0)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("GET /healthz", c.route("healthz", c.handleHealthz))
+	c.mux.HandleFunc("GET /metrics", c.route("metrics", c.handleMetrics))
+	c.mux.HandleFunc("GET /v1/archives", c.route("archives", c.handleArchives))
+	c.mux.HandleFunc("GET /v1/archives/{name}", c.route("archive", c.named(c.handleArchive)))
+	c.mux.HandleFunc("GET /v1/archives/{name}/chunks/{index}", c.route("chunk", c.named(c.handleChunk)))
+	c.mux.HandleFunc("GET /v1/archives/{name}/chunks/{index}/meta", c.route("chunk_meta", c.named(c.handleChunkMeta)))
+	// Legacy single-archive routes alias the default archive.
+	c.mux.HandleFunc("GET /v1/archive", c.route("archive", c.asDefault(c.handleArchive)))
+	c.mux.HandleFunc("GET /v1/chunks/{index}", c.route("chunk", c.asDefault(c.handleChunk)))
+	c.mux.HandleFunc("GET /v1/chunks/{index}/meta", c.route("chunk_meta", c.asDefault(c.handleChunkMeta)))
+	return c
+}
+
+// newTenant resolves a spec into a tenant with its effective policy and
+// breaker.
+func (c *Catalog) newTenant(spec ArchiveSpec) *tenant {
+	t := &tenant{name: spec.Name, spec: spec, polSet: c.policySet, pol: c.opts.FaultPolicy}
+	if spec.FaultPolicy != nil {
+		t.polSet, t.pol = true, *spec.FaultPolicy
+	}
+	resolved := t.pol.Resolved()
+	t.breaker = breaker{threshold: resolved.BreakerThreshold, cooldown: resolved.BreakerCooldown}
+	t.touch()
+	return t
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/#") {
+		return fmt.Errorf("serve: invalid archive name %q (must be non-empty, no '/' or '#')", name)
+	}
+	return nil
+}
+
+// Add registers one more archive. The first archive ever added becomes the
+// default for the legacy routes. Adding a name that already exists is an
+// error; Remove it first to replace its spec.
+func (c *Catalog) Add(spec ArchiveSpec) error {
+	if err := validName(spec.Name); err != nil {
+		return err
+	}
+	if spec.Open == nil {
+		return fmt.Errorf("serve: archive %q has no Open function", spec.Name)
+	}
+	t := c.newTenant(spec)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tenants[spec.Name]; dup {
+		return fmt.Errorf("serve: archive %q already in catalog", spec.Name)
+	}
+	c.tenants[spec.Name] = t
+	if c.defaultName == "" {
+		c.defaultName = spec.Name
+	}
+	return nil
+}
+
+// attach registers a pre-opened archive as a static tenant: the caller
+// owns the archive (the catalog never closes it) and it is never
+// idle-closed. This is how New builds a single-archive Server.
+func (c *Catalog) attach(name string, a *store.ChunkArchive) {
+	t := c.newTenant(ArchiveSpec{Name: name})
+	t.archive = a
+	t.gen = 1
+	t.static = true
+	c.mu.Lock()
+	c.tenants[name] = t
+	if c.defaultName == "" {
+		c.defaultName = name
+	}
+	c.openDeltaLocked(1)
+	c.mu.Unlock()
+}
+
+// Remove drops an archive from the catalog, closing it if the catalog
+// opened it and purging its cached chunks. In-flight requests against it
+// finish on the archive they hold; new requests answer 404.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	t, ok := c.tenants[name]
+	if ok {
+		delete(c.tenants, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: %w: %q", ErrArchiveNotFound, name)
+	}
+	t.mu.Lock()
+	if t.archive != nil && !t.static {
+		t.archive.Close()
+		if t.backend != nil {
+			t.backend.Close()
+		}
+		t.archive, t.backend = nil, nil
+		c.mu.Lock()
+		c.openDeltaLocked(-1)
+		c.mu.Unlock()
+	}
+	t.mu.Unlock()
+	// Every generation of the tenant's cache space starts "name#".
+	prefix := name + "#"
+	c.cache.RemoveIf(func(k cache.Keyed[int]) bool { return strings.HasPrefix(k.Space, prefix) })
+	return nil
+}
+
+// Names returns the catalog's archive names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.tenants))
+	for name := range c.tenants {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// DefaultName returns the archive name the legacy /v1 routes alias, ""
+// when the catalog is empty.
+func (c *Catalog) DefaultName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.defaultName
+}
+
+// openDeltaLocked adjusts the open-archive count and republishes the
+// gauge; the catalog lock must be held.
+func (c *Catalog) openDeltaLocked(d int) {
+	c.open += d
+	c.observer.Gauge(obs.GaugeCatalogOpenArchives, "", float64(c.open))
+}
+
+// OpenArchives returns the number of archives currently held open.
+func (c *Catalog) OpenArchives() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.open
+}
+
+// acquire pins the named tenant for one request: it lazily opens the
+// archive if needed, bumps the refcount (blocking idle-close for the
+// duration), and returns the archive, the tenant's current cache space,
+// and a release func the caller must run when done.
+func (c *Catalog) acquire(name string) (*tenant, *store.ChunkArchive, string, func(), error) {
+	c.mu.Lock()
+	t, ok := c.tenants[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, nil, "", nil, fmt.Errorf("serve: %w: %q", ErrArchiveNotFound, name)
+	}
+	t.refs.Add(1)
+	t.touch()
+	t.mu.Lock()
+	if t.archive == nil {
+		b, err := t.spec.Open()
+		if err == nil {
+			var a *store.ChunkArchive
+			a, err = store.OpenArchiveBackend(b, t.spec.Options...)
+			if err != nil {
+				b.Close()
+			} else {
+				t.archive, t.backend = a, b
+				t.gen++
+				c.mu.Lock()
+				c.openDeltaLocked(1)
+				c.mu.Unlock()
+			}
+		} else {
+			// The medium is unreachable, not the data damaged: surface as a
+			// device failure so clients get 503 + Retry-After, not a 500.
+			err = fmt.Errorf("serve: opening archive %q: %w: %w", name, store.ErrReadFailed, err)
+		}
+		if err != nil {
+			t.mu.Unlock()
+			t.refs.Add(-1)
+			return nil, nil, "", nil, err
+		}
+	}
+	a, space := t.archive, t.space()
+	t.mu.Unlock()
+	release := func() {
+		t.touch()
+		t.refs.Add(-1)
+	}
+	return t, a, space, release, nil
+}
+
+// CloseIdle closes every lazily-opened archive that has no in-flight
+// request and has been unused for at least Options.IdleTimeout as of now,
+// returning how many it closed. Serve runs it periodically; tests may call
+// it directly. With IdleTimeout <= 0 it is a no-op.
+func (c *Catalog) CloseIdle(now time.Time) int {
+	if c.opts.IdleTimeout <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-c.opts.IdleTimeout).UnixNano()
+	c.mu.Lock()
+	tenants := make([]*tenant, 0, len(c.tenants))
+	for _, t := range c.tenants {
+		tenants = append(tenants, t)
+	}
+	c.mu.Unlock()
+
+	closed := 0
+	for _, t := range tenants {
+		if t.static || t.refs.Load() > 0 || t.lastUse.Load() > cutoff {
+			continue
+		}
+		t.mu.Lock()
+		// Re-check under the tenant lock: an acquire that raced us either
+		// bumped refs before we looked (we skip) or will block on t.mu and
+		// reopen a fresh generation after we close.
+		if t.archive != nil && t.refs.Load() == 0 && t.lastUse.Load() <= cutoff {
+			t.archive.Close()
+			if t.backend != nil {
+				t.backend.Close()
+			}
+			t.archive, t.backend = nil, nil
+			closed++
+			c.mu.Lock()
+			c.openDeltaLocked(-1)
+			c.mu.Unlock()
+		}
+		t.mu.Unlock()
+	}
+	return closed
+}
+
+// Close closes every archive the catalog opened (static tenants stay
+// untouched — their owners close them). The catalog remains usable;
+// subsequent requests reopen lazily.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	tenants := make([]*tenant, 0, len(c.tenants))
+	for _, t := range c.tenants {
+		tenants = append(tenants, t)
+	}
+	c.mu.Unlock()
+	for _, t := range tenants {
+		t.mu.Lock()
+		if t.archive != nil && !t.static {
+			t.archive.Close()
+			if t.backend != nil {
+				t.backend.Close()
+			}
+			t.archive, t.backend = nil, nil
+			c.mu.Lock()
+			c.openDeltaLocked(-1)
+			c.mu.Unlock()
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// evictCached drops one chunk of the named archive from the shared cache —
+// a test/bench hook for forcing the cold path.
+func (c *Catalog) evictCached(name string, i int) bool {
+	c.mu.Lock()
+	t, ok := c.tenants[name]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	space := t.space()
+	t.mu.Unlock()
+	return cache.In(c.cache, space).Remove(i)
+}
+
+// Handler returns the catalog's routing handler, for mounting under a
+// custom http.Server or httptest.
+func (c *Catalog) Handler() http.Handler { return c.mux }
+
+// Metrics returns the catalog's metrics aggregator.
+func (c *Catalog) Metrics() *obs.Metrics { return c.metrics }
+
+// CacheStats returns the shared decoded-chunk cache counters across all
+// archives; Stats.Loads is the number of actual decode executions.
+func (c *Catalog) CacheStats() cache.Stats { return c.cache.Stats() }
+
+// route wraps a handler with the per-request machinery: the in-flight
+// gauge, request/error counters, and the request timeout. The request
+// context is also cancelled by the client hanging up, which the decode
+// path observes at frame boundaries.
+func (c *Catalog) route(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.observer.Gauge(obs.GaugeServeInFlight, "", float64(c.inFlight.Add(1)))
+		defer func() {
+			c.observer.Gauge(obs.GaugeServeInFlight, "", float64(c.inFlight.Add(-1)))
+		}()
+		c.observer.Counter(obs.CtrServeRequests, name, 1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), c.opts.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if err := h(sw, r.WithContext(ctx)); err != nil {
+			writeError(sw, err)
+		}
+		if sw.status >= 400 {
+			c.observer.Counter(obs.CtrServeErrors, name, 1)
+		}
+	}
+}
+
+// named adapts a tenant-scoped handler to the /v1/archives/{name}/ routes.
+func (c *Catalog) named(h func(http.ResponseWriter, *http.Request, string) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		return h(w, r, r.PathValue("name"))
+	}
+}
+
+// asDefault adapts a tenant-scoped handler to the legacy single-archive
+// routes, aliasing the catalog's default archive.
+func (c *Catalog) asDefault(h func(http.ResponseWriter, *http.Request, string) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		name := c.DefaultName()
+		if name == "" {
+			return fmt.Errorf("serve: %w: catalog has no default archive", ErrArchiveNotFound)
+		}
+		return h(w, r, name)
+	}
+}
+
+func (c *Catalog) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, err := fmt.Fprintln(w, "ok")
+	return err
+}
+
+// archiveEntry is one row of the GET /v1/archives listing.
+type archiveEntry struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default,omitempty"`
+	Open    bool   `json:"open"`
+}
+
+func (c *Catalog) handleArchives(w http.ResponseWriter, r *http.Request) error {
+	c.mu.Lock()
+	def := c.defaultName
+	entries := make([]archiveEntry, 0, len(c.tenants))
+	for name, t := range c.tenants {
+		t.mu.Lock()
+		open := t.archive != nil
+		t.mu.Unlock()
+		entries = append(entries, archiveEntry{Name: name, Default: name == def, Open: open})
+	}
+	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return writeJSON(w, struct {
+		Archives []archiveEntry `json:"archives"`
+	}{entries})
+}
+
+// archiveIndex is the JSON shape of GET /v1/archives/{name} (and the
+// legacy /v1/archive).
+type archiveIndex struct {
+	Name        string            `json:"name"`
+	Meta        store.ArchiveMeta `json:"meta"`
+	Chunks      int               `json:"chunks"`
+	TotalFrames int               `json:"total_frames"`
+	Index       []store.ChunkInfo `json:"index"`
+}
+
+func (c *Catalog) handleArchive(w http.ResponseWriter, r *http.Request, name string) error {
+	_, a, _, release, err := c.acquire(name)
+	if err != nil {
+		return err
+	}
+	defer release()
+	idx := archiveIndex{
+		Name:        name,
+		Meta:        a.Meta(),
+		Chunks:      a.NumChunks(),
+		TotalFrames: a.TotalFrames(),
+	}
+	idx.Index = make([]store.ChunkInfo, idx.Chunks)
+	for i := range idx.Index {
+		info, err := a.Info(i)
+		if err != nil {
+			return err
+		}
+		idx.Index[i] = info
+	}
+	return writeJSON(w, idx)
+}
+
+func (c *Catalog) handleChunkMeta(w http.ResponseWriter, r *http.Request, name string) error {
+	i, err := chunkIndex(r)
+	if err != nil {
+		return err
+	}
+	_, a, _, release, err := c.acquire(name)
+	if err != nil {
+		return err
+	}
+	defer release()
+	info, err := a.Info(i)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, info)
+}
+
+// handleChunk answers with the decoded frames of one chunk as a YUV4MPEG2
+// stream, from the shared cache when hot. Cold chunks are materialized
+// once per stampede via the cache's singleflight and then shared. The
+// tenant's open circuit breaker sheds the request before any archive or
+// cache work; a response built from a degraded read (some approximate
+// streams zero-filled) carries the X-Videoapp-Degraded header, on cache
+// hits too.
+func (c *Catalog) handleChunk(w http.ResponseWriter, r *http.Request, name string) error {
+	i, err := chunkIndex(r)
+	if err != nil {
+		return err
+	}
+	t, a, space, release, err := c.acquire(name)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if !t.breaker.allow(time.Now()) {
+		c.observer.Counter(obs.CtrServeShed, t.name, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(t.breaker.retryAfterSeconds()))
+		writeJSONError(w, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("archive %q read path unavailable (circuit breaker open)", t.name))
+		return nil
+	}
+	if _, err := a.Info(i); err != nil {
+		return err // 404 before paying a flight for an absent chunk
+	}
+	sp := cache.In(c.cache, space)
+	if _, hit := sp.Get(i); hit {
+		c.observer.Counter(obs.CtrServeCacheHits, t.name, 1)
+	} else {
+		c.observer.Counter(obs.CtrServeCacheMisses, t.name, 1)
+	}
+	p, err := sp.GetOrLoad(r.Context(), i, func(ctx context.Context) (chunkPayload, error) {
+		return c.materialize(ctx, t, a, i)
+	})
+	if err != nil {
+		if errors.Is(err, store.ErrReadFailed) && t.breaker.failure(time.Now()) {
+			c.observer.Gauge(obs.GaugeServeBreakerOpen, t.name, 1)
+		}
+		return retryAfterError{err: err, seconds: t.breaker.retryAfterSeconds()}
+	}
+	if t.breaker.success() {
+		// A success (possibly a probe after the cooldown) closes the
+		// breaker; refresh the gauge only on the transition.
+		c.observer.Gauge(obs.GaugeServeBreakerOpen, t.name, 0)
+	}
+	c.publishCacheGauges()
+	w.Header().Set("Content-Type", "video/x-yuv4mpeg")
+	w.Header().Set("Content-Length", strconv.Itoa(len(p.data)))
+	w.Header().Set("X-Chunk-Index", strconv.Itoa(i))
+	w.Header().Set("X-Archive-Name", t.name)
+	if len(p.degraded) > 0 {
+		w.Header().Set("X-Videoapp-Degraded", strings.Join(p.degraded, ","))
+		c.observer.Counter(obs.CtrServeDegraded, t.name, 1)
+	}
+	_, err = w.Write(p.data)
+	return err
+}
+
+// materialize is the cold-chunk path: read the chunk's bytes from the
+// archive under the tenant's fault policy, decode them, and render the
+// frames as y4m. It runs at most once per (archive, chunk) under stampede
+// (cache singleflight) and publishes the decode span and the per-archive
+// decode counter. A degraded read is a success here — the verdict rides
+// the payload into the cache so every response built from it is flagged.
+func (c *Catalog) materialize(ctx context.Context, t *tenant, a *store.ChunkArchive, i int) (chunkPayload, error) {
+	sp := obs.StartSpan(c.observer, obs.StageServeChunk)
+	defer sp.End()
+	c.observer.Counter(obs.CtrServeDecodes, t.name, 1)
+	ctx = obs.With(ctx, c.observer)
+	if t.polSet {
+		ctx = store.ContextWithFaultPolicy(ctx, t.pol)
+	}
+	cr, err := a.ReadChunkContext(ctx, i)
+	if err != nil {
+		return chunkPayload{}, err
+	}
+	seq, err := codec.DecodeContext(ctx, cr.Video, codec.DecodeOptions{}, c.opts.Workers)
+	if err != nil {
+		return chunkPayload{}, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(seqSize(len(seq.Frames), cr.Video.W, cr.Video.H))
+	if err := y4m.Write(&buf, seq); err != nil {
+		return chunkPayload{}, err
+	}
+	return chunkPayload{data: buf.Bytes(), degraded: cr.Degraded}, nil
+}
+
+func (c *Catalog) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	c.publishCacheGauges()
+	snap := c.metrics.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		return writeJSON(w, snap)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return snap.WriteText(w)
+}
+
+// publishCacheGauges refreshes the cache-derived gauges from the shared
+// cache's own counters.
+func (c *Catalog) publishCacheGauges() {
+	cs := c.cache.Stats()
+	c.observer.Gauge(obs.GaugeServeCacheHitRate, "", cs.HitRate())
+	c.observer.Gauge(obs.GaugeServeCacheBytes, "", float64(cs.Cost))
+}
+
+// Serve accepts connections on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes, idle connections drop, and in-flight
+// requests get DrainTimeout to finish before the server gives up. While
+// serving, idle archives are closed every IdleTimeout/2 (when an idle
+// timeout is configured). It returns nil on a clean drained shutdown.
+func (c *Catalog) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
+	}
+	if c.opts.IdleTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(c.opts.IdleTimeout / 2)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.CloseIdle(time.Now())
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), c.opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drain)
+	if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndServe binds addr and calls Serve. To learn the bound address of
+// an ephemeral ":0" listen, bind a net.Listener yourself and call Serve.
+func (c *Catalog) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Serve(ctx, l)
+}

@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videoapp/internal/faultio"
+	"videoapp/internal/obs"
+	"videoapp/internal/store"
+)
+
+// fetch is get with headers: one GET, fully drained.
+func fetch(t testing.TB, client *http.Client, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// chaosCatalog is the acceptance trio: one archive per backend kind, the
+// third behind a faultio decorator with a seeded corruption profile.
+type chaosCatalog struct {
+	names  []string       // catalog order: disk, mem, flaky
+	chunks map[string]int // archive name -> chunk count
+	data   map[string][]byte
+	seed   int64
+	pol    store.FaultPolicy
+}
+
+func buildChaosCatalog(t *testing.T) *chaosCatalog {
+	t.Helper()
+	cc := &chaosCatalog{
+		names: []string{"disk", "mem", "flaky"},
+		chunks: map[string]int{
+			"disk":  3,
+			"mem":   2,
+			"flaky": 4,
+		},
+		data: map[string][]byte{},
+		pol:  chaosPolicy(),
+	}
+	for name, n := range cc.chunks {
+		cc.data[name] = buildArchiveBytes(t, n)
+	}
+	cc.seed = findChaosSeed(t, cc.data["flaky"])
+	return cc
+}
+
+// specs returns fresh ArchiveSpecs for one catalog instance. Open funcs
+// return fresh backends each call (lazy reopen contract); the flaky
+// archive's faultio decorator restarts from the same seed, so identical
+// request sequences replay identical faults.
+func (cc *chaosCatalog) specs(t *testing.T, dir string) []ArchiveSpec {
+	t.Helper()
+	path := filepath.Join(dir, "disk.vacs")
+	if _, err := os.Stat(path); err != nil {
+		if err := os.WriteFile(path, cc.data["disk"], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pol := cc.pol
+	return []ArchiveSpec{
+		{Name: "disk", Open: func() (store.Backend, error) { return store.OpenFileBackend(path, false) }},
+		{Name: "mem", Open: func() (store.Backend, error) { return store.NewMemBackend(cc.data["mem"]), nil }},
+		{
+			Name: "flaky",
+			Open: func() (store.Backend, error) {
+				return faultio.Wrap(store.NewSnapshotBackend(cc.data["flaky"]), chaosProfile(cc.seed)), nil
+			},
+			Options:     []store.ArchiveOption{store.WithFaultPolicy(pol)},
+			FaultPolicy: &pol,
+		},
+	}
+}
+
+// chunkResp is one replayed response, everything a client can observe.
+type chunkResp struct {
+	Archive  string
+	Chunk    int
+	Status   int
+	Degraded string
+	Body     string
+}
+
+// replay runs the fixed sequential request order — every chunk of every
+// archive, archives in catalog order — against a fresh catalog.
+func (cc *chaosCatalog) replay(t *testing.T, dir string) []chunkResp {
+	t.Helper()
+	cat, err := NewCatalog(cc.specs(t, dir), WithFaultPolicy(cc.pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+	var out []chunkResp
+	for _, name := range cc.names {
+		for i := 0; i < cc.chunks[name]; i++ {
+			status, body, hdr := fetch(t, ts.Client(), fmt.Sprintf("%s/v1/archives/%s/chunks/%d", ts.URL, name, i))
+			out = append(out, chunkResp{
+				Archive:  name,
+				Chunk:    i,
+				Status:   status,
+				Degraded: hdr.Get("X-Videoapp-Degraded"),
+				Body:     string(body),
+			})
+		}
+	}
+	return out
+}
+
+// TestCatalogChaos is the multi-archive acceptance test: a catalog serving
+// three archives on three different backends — a read-only file, a memory
+// region, and a snapshot behind a faultio decorator with a seeded
+// corruption profile — takes mixed traffic from 32 concurrent clients.
+// Required properties:
+//
+//   - replay determinism: two fresh catalogs under the same seed answer the
+//     same sequential request order with byte-identical bodies, statuses
+//     and degradation headers, with at least one degraded response;
+//   - availability: the concurrent run answers no 5xx other than 503, and
+//     clean-backend responses are byte-identical to the serial reference;
+//   - tenancy: per-archive decode/request counters are labeled by archive,
+//     the serve_catalog_open_archives gauge tracks all three opens, and the
+//     shared decoded-chunk cache stays under its byte budget while evicting
+//     across archives.
+func TestCatalogChaos(t *testing.T) {
+	cc := buildChaosCatalog(t)
+	dir := t.TempDir()
+
+	// Byte-identical replay under the same seed.
+	r1 := cc.replay(t, dir)
+	r2 := cc.replay(t, dir)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same-seed replays differ:\n%+v\n%+v", r1, r2)
+	}
+	nDegraded := 0
+	for _, r := range r1 {
+		if r.Status != http.StatusOK {
+			t.Fatalf("replay %s/%d: status %d, want 200", r.Archive, r.Chunk, r.Status)
+		}
+		if r.Degraded != "" {
+			nDegraded++
+			if r.Archive != "flaky" {
+				t.Fatalf("clean archive %q answered degraded (%s)", r.Archive, r.Degraded)
+			}
+		}
+	}
+	if nDegraded == 0 {
+		t.Fatal("vetted seed produced no degraded response through the catalog")
+	}
+
+	// Serial reference bodies for the clean backends.
+	ref := map[string][][]byte{}
+	for _, name := range []string{"disk", "mem"} {
+		a, err := store.OpenChunkArchiveAt(bytes.NewReader(cc.data[name]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cc.chunks[name]; i++ {
+			ref[name] = append(ref[name], wantChunkBody(t, a, i))
+		}
+	}
+
+	// The concurrent run: 32 clients × 24 requests, archives interleaved,
+	// under a cache budget far below the working set so archives contend
+	// for (and evict each other from) the shared cache.
+	const budget = int64(96 << 10)
+	cat, err := NewCatalog(cc.specs(t, dir), WithFaultPolicy(cc.pol), WithCacheBytes(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	const perClient = 24
+	var wg sync.WaitGroup
+	var served, degraded atomic.Int64
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			for r := 0; r < perClient; r++ {
+				name := cc.names[(c+r)%len(cc.names)]
+				i := (c*perClient + r) % cc.chunks[name]
+				resp, err := client.Get(fmt.Sprintf("%s/v1/archives/%s/chunks/%d", ts.URL, name, i))
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %w", c, r, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: reading body: %w", c, r, err)
+					return
+				}
+				served.Add(1)
+				if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+					errs <- fmt.Errorf("%s/%d: status %d (only 503 is an acceptable 5xx): %s",
+						name, i, resp.StatusCode, body)
+					return
+				}
+				if resp.StatusCode == http.StatusOK {
+					if got := resp.Header.Get("X-Archive-Name"); got != name {
+						errs <- fmt.Errorf("%s/%d: X-Archive-Name = %q", name, i, got)
+						return
+					}
+					if want, clean := ref[name]; clean && !bytes.Equal(body, want[i]) {
+						errs <- fmt.Errorf("%s/%d: body diverged from serial reference", name, i)
+						return
+					}
+				}
+				if h := resp.Header.Get("X-Videoapp-Degraded"); h != "" {
+					degraded.Add(1)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("%s/%d: degraded response with status %d", name, i, resp.StatusCode)
+						return
+					}
+					if name != "flaky" {
+						errs <- fmt.Errorf("clean archive %q answered degraded (%s)", name, h)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := served.Load(); got != clients*perClient {
+		t.Fatalf("served %d of %d requests", got, clients*perClient)
+	}
+
+	// Tenancy accounting: all three archives open and gauged, per-archive
+	// labeled counters, shared cache at or under budget after evictions.
+	if got := cat.OpenArchives(); got != 3 {
+		t.Fatalf("OpenArchives = %d, want 3", got)
+	}
+	snap := cat.Metrics().Snapshot()
+	if got := snap.Gauge(obs.GaugeCatalogOpenArchives, ""); got != 3 {
+		t.Fatalf("%s = %v, want 3", obs.GaugeCatalogOpenArchives, got)
+	}
+	for _, name := range cc.names {
+		if snap.Counter(obs.CtrServeDecodes, name) == 0 {
+			t.Fatalf("no %s decodes counted for archive %q", obs.CtrServeDecodes, name)
+		}
+		if snap.Counter(obs.CtrServeCacheMisses, name) == 0 {
+			t.Fatalf("no cache misses counted for archive %q", name)
+		}
+	}
+	cs := cat.CacheStats()
+	if cs.Cost > budget {
+		t.Fatalf("shared cache cost %d over budget %d", cs.Cost, budget)
+	}
+	if cs.Evictions == 0 {
+		t.Fatal("working set over budget evicted nothing")
+	}
+	if names := cat.Names(); !reflect.DeepEqual(names, []string{"disk", "flaky", "mem"}) {
+		t.Fatalf("Names() = %v", names)
+	}
+	if def := cat.DefaultName(); def != "disk" {
+		t.Fatalf("DefaultName() = %q, want first-added %q", def, "disk")
+	}
+}
+
+// TestCatalogIdleClose pins the idle-close lifecycle: a lazily-opened
+// archive closes after IdleTimeout of disuse (and only then), the
+// open-archives gauge tracks it, and the next request transparently
+// reopens a fresh generation — the pre-close cache entries are never
+// reused, so the chunk decodes again.
+func TestCatalogIdleClose(t *testing.T) {
+	data := buildArchiveBytes(t, 2)
+	const idle = 50 * time.Millisecond
+	cat, err := NewCatalog([]ArchiveSpec{
+		{Name: "m", Open: func() (store.Backend, error) { return store.NewMemBackend(data), nil }},
+	}, WithIdleTimeout(idle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	if got := cat.OpenArchives(); got != 0 {
+		t.Fatalf("OpenArchives = %d before any request, want 0 (lazy open)", got)
+	}
+	status, body, _ := fetch(t, ts.Client(), ts.URL+"/v1/archives/m/chunks/0")
+	if status != http.StatusOK {
+		t.Fatalf("first read: status %d: %s", status, body)
+	}
+	if got := cat.OpenArchives(); got != 1 {
+		t.Fatalf("OpenArchives = %d after request, want 1", got)
+	}
+
+	// Not yet idle: a sweep right now closes nothing.
+	if n := cat.CloseIdle(time.Now()); n != 0 {
+		t.Fatalf("CloseIdle before timeout closed %d archives", n)
+	}
+	// Past the timeout (simulated clock) the sweep closes it.
+	if n := cat.CloseIdle(time.Now().Add(time.Second)); n != 1 {
+		t.Fatalf("CloseIdle past timeout closed %d archives, want 1", n)
+	}
+	if got := cat.OpenArchives(); got != 0 {
+		t.Fatalf("OpenArchives = %d after idle close, want 0", got)
+	}
+	if got := cat.Metrics().Snapshot().Gauge(obs.GaugeCatalogOpenArchives, ""); got != 0 {
+		t.Fatalf("%s = %v after idle close, want 0", obs.GaugeCatalogOpenArchives, got)
+	}
+
+	// The next request reopens transparently — and decodes again: the new
+	// generation gets a fresh cache namespace, so nothing cached before the
+	// close can leak into the reopened archive.
+	status, _, _ = fetch(t, ts.Client(), ts.URL+"/v1/archives/m/chunks/0")
+	if status != http.StatusOK {
+		t.Fatalf("post-reopen read: status %d", status)
+	}
+	if got := cat.OpenArchives(); got != 1 {
+		t.Fatalf("OpenArchives = %d after reopen, want 1", got)
+	}
+	if got := cat.Metrics().Snapshot().Counter(obs.CtrServeDecodes, "m"); got != 2 {
+		t.Fatalf("decodes = %d, want 2 (reopen must not serve the stale generation's cache)", got)
+	}
+}
+
+// TestCatalogAddRemove exercises runtime membership: name validation,
+// duplicate rejection, default election, removal with cache purge, and the
+// 404 JSON contract for a removed archive.
+func TestCatalogAddRemove(t *testing.T) {
+	data := buildArchiveBytes(t, 2)
+	open := func() (store.Backend, error) { return store.NewMemBackend(data), nil }
+	cat, err := NewCatalog(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	for _, bad := range []ArchiveSpec{
+		{Name: "", Open: open},
+		{Name: "a/b", Open: open},
+		{Name: "a#1", Open: open},
+		{Name: "ok"}, // no Open
+	} {
+		if err := cat.Add(bad); err == nil {
+			t.Fatalf("Add(%q) accepted an invalid spec", bad.Name)
+		}
+	}
+	if err := cat.Add(ArchiveSpec{Name: "first", Open: open}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(ArchiveSpec{Name: "second", Open: open}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(ArchiveSpec{Name: "first", Open: open}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if def := cat.DefaultName(); def != "first" {
+		t.Fatalf("DefaultName = %q, want %q", def, "first")
+	}
+
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	// The legacy routes alias the default archive.
+	status, _, hdr := fetch(t, ts.Client(), ts.URL+"/v1/chunks/0")
+	if status != http.StatusOK || hdr.Get("X-Archive-Name") != "first" {
+		t.Fatalf("legacy route: status %d archive %q, want 200 from %q", status, hdr.Get("X-Archive-Name"), "first")
+	}
+
+	// The listing shows both, flags the default, and tracks openness.
+	status, body, _ := fetch(t, ts.Client(), ts.URL+"/v1/archives")
+	if status != http.StatusOK {
+		t.Fatalf("listing: status %d", status)
+	}
+	var listing struct {
+		Archives []struct {
+			Name    string `json:"name"`
+			Default bool   `json:"default"`
+			Open    bool   `json:"open"`
+		} `json:"archives"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("listing not JSON: %v: %s", err, body)
+	}
+	if len(listing.Archives) != 2 || listing.Archives[0].Name != "first" || !listing.Archives[0].Default ||
+		!listing.Archives[0].Open || listing.Archives[1].Open {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	if err := cat.Remove("second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Remove("second"); !errors.Is(err, ErrArchiveNotFound) {
+		t.Fatalf("double Remove: %v, want ErrArchiveNotFound", err)
+	}
+	status, body, hdr = fetch(t, ts.Client(), ts.URL+"/v1/archives/second/chunks/0")
+	if status != http.StatusNotFound {
+		t.Fatalf("removed archive: status %d, want 404", status)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Code != "archive_not_found" ||
+		hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("removed archive error body %q (Content-Type %q, parse %v)", body, hdr.Get("Content-Type"), err)
+	}
+	// The survivor still serves; removing the default does not reroute it.
+	status, _, _ = fetch(t, ts.Client(), ts.URL+"/v1/archives/first/chunks/0")
+	if status != http.StatusOK {
+		t.Fatalf("surviving archive: status %d", status)
+	}
+}
+
+// TestCatalogOpenFailure pins the unreachable-medium contract: a spec whose
+// Open fails answers 503 + Retry-After with code "read_failed" (the device,
+// not the data), the catalog keeps serving its healthy archives, and the
+// failed tenant recovers on the next request once its medium returns.
+func TestCatalogOpenFailure(t *testing.T) {
+	data := buildArchiveBytes(t, 2)
+	var down atomic.Bool
+	down.Store(true)
+	cat, err := NewCatalog([]ArchiveSpec{
+		{Name: "ok", Open: func() (store.Backend, error) { return store.NewMemBackend(data), nil }},
+		{Name: "detached", Open: func() (store.Backend, error) {
+			if down.Load() {
+				return nil, errors.New("medium offline")
+			}
+			return store.NewMemBackend(data), nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	status, body, hdr := fetch(t, ts.Client(), ts.URL+"/v1/archives/detached/chunks/0")
+	if status != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("detached archive: status %d retry-after %q, want 503 with hint", status, hdr.Get("Retry-After"))
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Code != "read_failed" {
+		t.Fatalf("detached archive error body %q (parse %v)", body, err)
+	}
+	// Healthy tenants are unaffected.
+	if status, _, _ := fetch(t, ts.Client(), ts.URL+"/v1/archives/ok/chunks/0"); status != http.StatusOK {
+		t.Fatalf("healthy archive: status %d", status)
+	}
+	// The medium comes back; the next request opens it.
+	down.Store(false)
+	if status, _, _ := fetch(t, ts.Client(), ts.URL+"/v1/archives/detached/chunks/0"); status != http.StatusOK {
+		t.Fatalf("recovered archive: status %d", status)
+	}
+	if got := cat.OpenArchives(); got != 2 {
+		t.Fatalf("OpenArchives = %d, want 2", got)
+	}
+}

@@ -316,8 +316,8 @@ func TestCircuitBreakerShedsAndRecovers(t *testing.T) {
 	if snap.CounterTotal(obs.CtrServeShed) == 0 {
 		t.Fatal("open breaker shed nothing")
 	}
-	if snap.Gauge(obs.GaugeServeBreakerOpen, "") != 1 {
-		t.Fatalf("serve_breaker_open = %v, want 1", snap.Gauge(obs.GaugeServeBreakerOpen, ""))
+	if snap.Gauge(obs.GaugeServeBreakerOpen, DefaultArchiveName) != 1 {
+		t.Fatalf("serve_breaker_open = %v, want 1", snap.Gauge(obs.GaugeServeBreakerOpen, DefaultArchiveName))
 	}
 
 	// Device recovers; after the cooldown the probe succeeds and closes
@@ -328,8 +328,8 @@ func TestCircuitBreakerShedsAndRecovers(t *testing.T) {
 		t.Fatalf("post-cooldown probe: status %d, want 200", status)
 	}
 	snap = s.Metrics().Snapshot()
-	if snap.Gauge(obs.GaugeServeBreakerOpen, "") != 0 {
-		t.Fatalf("serve_breaker_open = %v after recovery, want 0", snap.Gauge(obs.GaugeServeBreakerOpen, ""))
+	if snap.Gauge(obs.GaugeServeBreakerOpen, DefaultArchiveName) != 0 {
+		t.Fatalf("serve_breaker_open = %v after recovery, want 0", snap.Gauge(obs.GaugeServeBreakerOpen, DefaultArchiveName))
 	}
 	if status, _ := get(1); status != http.StatusOK {
 		t.Fatalf("post-recovery read: status %d, want 200", status)

@@ -1,25 +1,43 @@
 // Package serve is the concurrent read path of the archive layer: an HTTP
-// chunk server that ships decoded chunk frames, per-chunk metadata and the
-// archive index from a VACS container to many simultaneous clients.
+// chunk server that ships decoded chunk frames, per-chunk metadata and
+// archive indexes from VACS containers to many simultaneous clients.
 //
 // The paper's premise is that approximately stored video is read far more
 // often than it is written, so the serving layer is built around three
 // read-side mechanisms:
 //
-//   - the archive is accessed through io.ReaderAt (store.OpenChunkArchiveAt),
-//     so concurrent chunk reads share no cursor and take no lock;
+//   - archives are accessed through the store.Backend seam
+//     (store.OpenArchiveBackend), so concurrent chunk reads share no cursor
+//     and take no lock, and any storage medium — file, memory region,
+//     sealed snapshot, or a faultio-decorated composition — serves the
+//     same way;
 //   - decoded chunks are rendered once into a cost-bounded LRU cache
-//     (internal/cache), sized in bytes of rendered y4m output;
+//     (internal/cache), sized in bytes of rendered y4m output and shared
+//     across every archive of a catalog: the budget and recency order are
+//     global, so a hot archive naturally displaces a cold one;
 //   - cold-chunk decodes are coalesced (singleflight): a stampede of N
 //     clients on one uncached chunk performs a single archive read + decode
 //     and every client shares the bytes.
 //
+// # Multi-archive catalogs
+//
+// A Catalog serves N named archives from one process — the multi-tenant
+// storage node of the datacenter deployment the paper argues for (§1, §7).
+// Tenants are declared as ArchiveSpecs and opened lazily on first request;
+// an idle timeout closes archives nobody is reading (the static archive of
+// a single-tenant Server is never closed). Each tenant gets its own
+// circuit breaker and fault policy, and its own labeled counters, while
+// the decoded-chunk cache is shared. A Server is the single-archive
+// special case: a catalog with one statically attached tenant named
+// "default".
+//
 // Every request runs under a context with the configured timeout and is
 // cancelled when the client hangs up; the decode path checks the context
 // at frame boundaries. The server publishes its own observability through
-// internal/obs (request counts, cache hit rate, decode latency,
-// in-flight gauge) and renders a snapshot on /metrics. Shutdown drains
-// in-flight connections before returning.
+// internal/obs (request counts, cache hit rate, decode latency, in-flight
+// gauge, open-archive gauge, per-archive chunk counters) and renders a
+// snapshot on /metrics. Shutdown drains in-flight connections before
+// returning. Errors are JSON objects: {"error": ..., "code": ...}.
 //
 // # Fault tolerance
 //
@@ -34,24 +52,31 @@
 //     counted in serve_chunk_degraded. Only damage to the precisely-stored
 //     region is a hard failure, and even that answers 503 + Retry-After
 //     (scrubbing can repair it), never a 5xx dead end.
-//   - a circuit breaker: consecutive hard read failures (ErrReadFailed —
-//     the device, not the data) open the breaker for the policy's cooldown,
-//     during which chunk requests are shed immediately with 503 +
-//     Retry-After instead of hammering a failing device. Shed requests are
-//     counted in serve_breaker_shed and the serve_breaker_open gauge is 1
-//     while shedding. Any successful read closes the breaker.
+//   - per-archive circuit breakers: consecutive hard read failures
+//     (ErrReadFailed — the device, not the data) open that archive's
+//     breaker for the policy's cooldown, during which its chunk requests
+//     are shed immediately with 503 + Retry-After instead of hammering a
+//     failing device. Shed requests are counted in serve_breaker_shed and
+//     the serve_breaker_open gauge is 1 while shedding; other archives of
+//     the catalog are unaffected. Any successful read closes the breaker.
 //
 // # Endpoints
 //
-//	GET /healthz                 liveness probe, "ok"
-//	GET /v1/archive              archive index: meta + per-chunk records (JSON)
-//	GET /v1/chunks/{index}       decoded chunk frames as YUV4MPEG2
-//	GET /v1/chunks/{index}/meta  one chunk's record (JSON)
-//	GET /metrics                 obs snapshot (text; ?format=json for JSON)
+//	GET /healthz                                  liveness probe, "ok"
+//	GET /v1/archives                              catalog listing (JSON)
+//	GET /v1/archives/{name}                       archive index: meta + per-chunk records (JSON)
+//	GET /v1/archives/{name}/chunks/{index}        decoded chunk frames as YUV4MPEG2
+//	GET /v1/archives/{name}/chunks/{index}/meta   one chunk's record (JSON)
+//	GET /metrics                                  obs snapshot (text; ?format=json for JSON)
+//
+// The v1 single-archive routes remain as aliases of the default archive:
+//
+//	GET /v1/archive              = /v1/archives/{default}
+//	GET /v1/chunks/{index}       = /v1/archives/{default}/chunks/{index}
+//	GET /v1/chunks/{index}/meta  = /v1/archives/{default}/chunks/{index}/meta
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,25 +84,27 @@ import (
 	"net"
 	"net/http"
 	"strconv"
-	"strings"
-	"sync/atomic"
 	"time"
 
 	"videoapp/internal/cache"
-	"videoapp/internal/codec"
 	"videoapp/internal/obs"
 	"videoapp/internal/store"
-	"videoapp/internal/y4m"
 )
 
+// ErrArchiveNotFound reports a request for a catalog archive name that is
+// not (or no longer) in the catalog. Match with errors.Is; over HTTP it is
+// a 404 with code "archive_not_found".
+var ErrArchiveNotFound = errors.New("archive not found")
+
 // Options is the server's resolved configuration. Construct servers with
-// New and the With* functional options; Options survives as a plain struct
-// so the one-release compatibility shim (the root package's
-// WithServeOptions) and tests can state a whole configuration at once.
+// New (or catalogs with NewCatalog) and the With* functional options;
+// Options survives as a plain struct so tests can state a whole
+// configuration at once.
 type Options struct {
 	// CacheBytes bounds the decoded-chunk cache by rendered output size;
 	// <= 0 selects 64 MiB. The cache holds y4m-rendered chunks, so one
-	// entry costs roughly frames × 1.5 × W × H bytes.
+	// entry costs roughly frames × 1.5 × W × H bytes. A catalog's cache is
+	// shared across all of its archives.
 	CacheBytes int64
 	// Workers bounds the decoder's frame parallelism per cold chunk;
 	// <= 0 selects GOMAXPROCS.
@@ -88,13 +115,20 @@ type Options struct {
 	// DrainTimeout bounds connection draining during Shutdown; <= 0
 	// selects 10 seconds.
 	DrainTimeout time.Duration
+	// IdleTimeout closes a lazily-opened catalog archive after it has gone
+	// unused this long; <= 0 keeps archives open forever. Statically
+	// attached archives (Server's, Catalog entries added with a pre-opened
+	// archive) are never idle-closed. The next request reopens the archive
+	// transparently.
+	IdleTimeout time.Duration
 	// Observer, when non-nil, receives the serve-layer events alongside
 	// the server's own metrics aggregator.
 	Observer obs.Observer
-	// FaultPolicy tunes the read path's retries and the circuit breaker.
-	// It only takes effect through WithFaultPolicy (or a WithOptions shim
-	// carrying a non-zero policy), which also threads it under every
-	// archive read of this server, overriding the archive's own policy.
+	// FaultPolicy tunes the read path's retries and the circuit breaker
+	// for every archive that does not carry its own ArchiveSpec.FaultPolicy.
+	// It only takes effect through WithFaultPolicy, which also threads it
+	// under every archive read of this server, overriding the archive's
+	// own policy.
 	FaultPolicy store.FaultPolicy
 }
 
@@ -118,7 +152,8 @@ type config struct {
 	policySet bool
 }
 
-// Option configures a Server at construction, applied in argument order.
+// Option configures a Server or Catalog at construction, applied in
+// argument order.
 type Option func(*config)
 
 // WithCacheBytes bounds the decoded-chunk cache by rendered output size;
@@ -145,6 +180,12 @@ func WithDrainTimeout(d time.Duration) Option {
 	return func(c *config) { c.opts.DrainTimeout = d }
 }
 
+// WithIdleTimeout closes lazily-opened catalog archives that have gone
+// unused this long; <= 0 (the default) keeps them open forever.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(c *config) { c.opts.IdleTimeout = d }
+}
+
 // WithObserver attaches an observer that receives the serve-layer events
 // alongside the server's own metrics aggregator.
 func WithObserver(o obs.Observer) Option {
@@ -155,7 +196,8 @@ func WithObserver(o obs.Observer) Option {
 // count and backoff for archive reads, checksum verification, and the
 // circuit breaker's threshold and cooldown. The policy is threaded through
 // the request context, so it overrides the archive's own policy for reads
-// this server issues.
+// this server issues. A per-archive ArchiveSpec.FaultPolicy overrides it
+// for that archive.
 func WithFaultPolicy(p store.FaultPolicy) Option {
 	return func(c *config) {
 		c.opts.FaultPolicy = p
@@ -163,78 +205,45 @@ func WithFaultPolicy(p store.FaultPolicy) Option {
 	}
 }
 
-// WithOptions applies a whole Options struct at once — the compatibility
-// bridge for code written against the previous struct-configured
-// constructor. A non-zero FaultPolicy field behaves as WithFaultPolicy.
-func WithOptions(o Options) Option {
-	return func(c *config) {
-		set := c.policySet || o.FaultPolicy != (store.FaultPolicy{})
-		c.opts = o
-		c.policySet = set
-	}
-}
-
-// Server serves one archive to many concurrent clients. Construct with New;
+// Server serves one archive to many concurrent clients: the single-tenant
+// special case of a Catalog, its archive statically attached under the
+// name "default" and every catalog route available. Construct with New;
 // all methods are safe for concurrent use.
 type Server struct {
-	archive   *store.ChunkArchive
-	opts      Options
-	policySet bool
-	cache     *cache.Cache[int, chunkPayload]
-	metrics   *obs.Metrics
-	observer  obs.Observer
-	inFlight  atomic.Int64
-	breaker   breaker
-	mux       *http.ServeMux
-}
-
-// chunkPayload is one cached chunk response: the rendered y4m bytes plus
-// the degradation verdict of the read that produced them, so cache hits
-// replay the same X-Videoapp-Degraded header as the original response.
-type chunkPayload struct {
-	data     []byte
-	degraded []string
+	cat *Catalog
 }
 
 // New returns a server over an opened archive. The archive must outlive the
 // server; the server never closes it.
 func New(a *store.ChunkArchive, options ...Option) *Server {
-	var c config
-	for _, o := range options {
-		o(&c)
-	}
-	opts := c.opts.withDefaults()
-	pol := opts.FaultPolicy.Resolved()
-	s := &Server{
-		archive:   a,
-		opts:      opts,
-		policySet: c.policySet,
-		cache: cache.New[int, chunkPayload](opts.CacheBytes, func(p chunkPayload) int64 {
-			return int64(len(p.data))
-		}),
-		metrics: obs.NewMetrics(),
-		breaker: breaker{threshold: pol.BreakerThreshold, cooldown: pol.BreakerCooldown},
-	}
-	s.observer = obs.Multi(s.metrics, opts.Observer)
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /v1/archive", s.route("archive", s.handleArchive))
-	s.mux.HandleFunc("GET /v1/chunks/{index}", s.route("chunk", s.handleChunk))
-	s.mux.HandleFunc("GET /v1/chunks/{index}/meta", s.route("chunk_meta", s.handleChunkMeta))
-	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
-	return s
+	cat := newCatalog(options)
+	cat.attach(DefaultArchiveName, a)
+	return &Server{cat: cat}
 }
+
+// Catalog returns the underlying single-entry catalog, for attaching more
+// archives to a server that started single-tenant.
+func (s *Server) Catalog() *Catalog { return s.cat }
 
 // Handler returns the server's routing handler, for mounting under a custom
 // http.Server or httptest.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.cat.Handler() }
 
 // Metrics returns the server's metrics aggregator.
-func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+func (s *Server) Metrics() *obs.Metrics { return s.cat.Metrics() }
 
 // CacheStats returns the decoded-chunk cache counters; Stats.Loads is the
 // number of actual decode executions (the singleflight counter).
-func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+func (s *Server) CacheStats() cache.Stats { return s.cat.CacheStats() }
+
+// Serve accepts connections on l until ctx is cancelled, then shuts down
+// gracefully; see Catalog.Serve.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error { return s.cat.Serve(ctx, l) }
+
+// ListenAndServe binds addr and calls Serve; see Catalog.ListenAndServe.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return s.cat.ListenAndServe(ctx, addr)
+}
 
 // statusWriter records the status code written to a response.
 type statusWriter struct {
@@ -247,199 +256,72 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route wraps a handler with the per-request machinery: the in-flight
-// gauge, request/error counters, and the request timeout. The request
-// context is also cancelled by the client hanging up, which the decode
-// path observes at frame boundaries.
-func (s *Server) route(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.observer.Gauge(obs.GaugeServeInFlight, "", float64(s.inFlight.Add(1)))
-		defer func() {
-			s.observer.Gauge(obs.GaugeServeInFlight, "", float64(s.inFlight.Add(-1)))
-		}()
-		s.observer.Counter(obs.CtrServeRequests, name, 1)
-
-		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-		defer cancel()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		if err := h(sw, r.WithContext(ctx)); err != nil {
-			s.writeError(sw, err)
-		}
-		if sw.status >= 400 {
-			s.observer.Counter(obs.CtrServeErrors, name, 1)
-		}
-	}
+// errorBody is the JSON shape of every error response.
+type errorBody struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is the stable machine-readable error class.
+	Code string `json:"code"`
 }
 
+// writeJSONError emits one JSON error object with the given status.
+func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Code: code})
+}
+
+// retryAfterError decorates a read-path error with the owning archive's
+// breaker cooldown, so writeError can emit a tenant-accurate Retry-After.
+type retryAfterError struct {
+	err     error
+	seconds int
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
+
 // writeError maps the archive layer's typed errors and context outcomes to
-// HTTP statuses. Unreadable data never dead-ends in a 500: corruption is
-// repairable (scrub, mirror) and device failure is transient by
-// definition, so both answer 503 with a Retry-After hint.
-func (s *Server) writeError(w *statusWriter, err error) {
+// HTTP statuses with JSON bodies. Unreadable data never dead-ends in a 500:
+// corruption is repairable (scrub, mirror) and device failure is transient
+// by definition, so both answer 503 with a Retry-After hint.
+func writeError(w *statusWriter, err error) {
 	status := http.StatusInternalServerError
+	code := "internal"
+	retryAfter := 0
 	switch {
 	case errors.Is(err, store.ErrChunkNotFound):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "chunk_not_found"
+	case errors.Is(err, ErrArchiveNotFound):
+		status, code = http.StatusNotFound, "archive_not_found"
 	case errors.Is(err, store.ErrArchiveClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, store.ErrCorruptRecord), errors.Is(err, store.ErrReadFailed):
-		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfterSeconds()))
+		status, code = http.StatusServiceUnavailable, "archive_closed"
+	case errors.Is(err, store.ErrCorruptRecord):
+		status, code = http.StatusServiceUnavailable, "corrupt_record"
+		retryAfter = retryAfterSecondsOf(err)
+	case errors.Is(err, store.ErrReadFailed):
+		status, code = http.StatusServiceUnavailable, "read_failed"
+		retryAfter = retryAfterSecondsOf(err)
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "timeout"
 	case errors.Is(err, context.Canceled):
 		// The client hung up; nothing useful can be written.
 		return
 	}
-	http.Error(w, err.Error(), status)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSONError(w, status, code, err.Error())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, err := fmt.Fprintln(w, "ok")
-	return err
-}
-
-// archiveIndex is the JSON shape of GET /v1/archive.
-type archiveIndex struct {
-	Meta        store.ArchiveMeta `json:"meta"`
-	Chunks      int               `json:"chunks"`
-	TotalFrames int               `json:"total_frames"`
-	Index       []store.ChunkInfo `json:"index"`
-}
-
-func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) error {
-	idx := archiveIndex{
-		Meta:        s.archive.Meta(),
-		Chunks:      s.archive.NumChunks(),
-		TotalFrames: s.archive.TotalFrames(),
+// retryAfterSecondsOf extracts the tenant breaker's cooldown hint riding
+// err, defaulting to 1 second when none is attached.
+func retryAfterSecondsOf(err error) int {
+	var ra retryAfterError
+	if errors.As(err, &ra) && ra.seconds > 0 {
+		return ra.seconds
 	}
-	idx.Index = make([]store.ChunkInfo, idx.Chunks)
-	for i := range idx.Index {
-		info, err := s.archive.Info(i)
-		if err != nil {
-			return err
-		}
-		idx.Index[i] = info
-	}
-	return writeJSON(w, idx)
-}
-
-func (s *Server) handleChunkMeta(w http.ResponseWriter, r *http.Request) error {
-	i, err := chunkIndex(r)
-	if err != nil {
-		return err
-	}
-	info, err := s.archive.Info(i)
-	if err != nil {
-		return err
-	}
-	return writeJSON(w, info)
-}
-
-// handleChunk answers with the decoded frames of one chunk as a YUV4MPEG2
-// stream, from cache when hot. Cold chunks are materialized once per
-// stampede via the cache's singleflight and then shared. The open circuit
-// breaker sheds the request before any archive or cache work; a response
-// built from a degraded read (some approximate streams zero-filled)
-// carries the X-Videoapp-Degraded header, on cache hits too.
-func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) error {
-	i, err := chunkIndex(r)
-	if err != nil {
-		return err
-	}
-	if !s.breaker.allow(time.Now()) {
-		s.observer.Counter(obs.CtrServeShed, "", 1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.breaker.retryAfterSeconds()))
-		http.Error(w, "chunk read path unavailable (circuit breaker open)", http.StatusServiceUnavailable)
-		return nil
-	}
-	if _, err := s.archive.Info(i); err != nil {
-		return err // 404 before paying a flight for an absent chunk
-	}
-	if _, hit := s.cache.Get(i); hit {
-		s.observer.Counter(obs.CtrServeCacheHits, "", 1)
-	} else {
-		s.observer.Counter(obs.CtrServeCacheMisses, "", 1)
-	}
-	p, err := s.cache.GetOrLoad(r.Context(), i, func(ctx context.Context) (chunkPayload, error) {
-		return s.materialize(ctx, i)
-	})
-	if err != nil {
-		if errors.Is(err, store.ErrReadFailed) && s.breaker.failure(time.Now()) {
-			s.observer.Gauge(obs.GaugeServeBreakerOpen, "", 1)
-		}
-		return err
-	}
-	if s.breaker.success() {
-		// A success (possibly a probe after the cooldown) closes the
-		// breaker; refresh the gauge only on the transition.
-		s.observer.Gauge(obs.GaugeServeBreakerOpen, "", 0)
-	}
-	s.publishCacheGauges()
-	w.Header().Set("Content-Type", "video/x-yuv4mpeg")
-	w.Header().Set("Content-Length", strconv.Itoa(len(p.data)))
-	w.Header().Set("X-Chunk-Index", strconv.Itoa(i))
-	if len(p.degraded) > 0 {
-		w.Header().Set("X-Videoapp-Degraded", strings.Join(p.degraded, ","))
-		s.observer.Counter(obs.CtrServeDegraded, "", 1)
-	}
-	_, err = w.Write(p.data)
-	return err
-}
-
-// materialize is the cold-chunk path: read the chunk's bytes from the
-// archive under the server's fault policy, decode them, and render the
-// frames as y4m. It runs at most once per chunk under stampede (cache
-// singleflight) and publishes the decode span and counter. A degraded read
-// is a success here — the verdict rides the payload into the cache so
-// every response built from it is flagged.
-func (s *Server) materialize(ctx context.Context, i int) (chunkPayload, error) {
-	sp := obs.StartSpan(s.observer, obs.StageServeChunk)
-	defer sp.End()
-	s.observer.Counter(obs.CtrServeDecodes, "", 1)
-	ctx = obs.With(ctx, s.observer)
-	if s.policySet {
-		ctx = store.ContextWithFaultPolicy(ctx, s.opts.FaultPolicy)
-	}
-	cr, err := s.archive.ReadChunkContext(ctx, i)
-	if err != nil {
-		return chunkPayload{}, err
-	}
-	seq, err := codec.DecodeContext(ctx, cr.Video, codec.DecodeOptions{}, s.opts.Workers)
-	if err != nil {
-		return chunkPayload{}, err
-	}
-	var buf bytes.Buffer
-	buf.Grow(seqSize(len(seq.Frames), cr.Video.W, cr.Video.H))
-	if err := y4m.Write(&buf, seq); err != nil {
-		return chunkPayload{}, err
-	}
-	return chunkPayload{data: buf.Bytes(), degraded: cr.Degraded}, nil
-}
-
-// seqSize estimates the rendered y4m size of frames 4:2:0 pictures, for
-// pre-sizing the render buffer.
-func seqSize(frames, w, h int) int {
-	return frames*(w*h*3/2+8) + 128
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
-	s.publishCacheGauges()
-	snap := s.metrics.Snapshot()
-	if r.URL.Query().Get("format") == "json" {
-		return writeJSON(w, snap)
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	return snap.WriteText(w)
-}
-
-// publishCacheGauges refreshes the cache-derived gauges from the cache's
-// own counters.
-func (s *Server) publishCacheGauges() {
-	cs := s.cache.Stats()
-	s.observer.Gauge(obs.GaugeServeCacheHitRate, "", cs.HitRate())
-	s.observer.Gauge(obs.GaugeServeCacheBytes, "", float64(cs.Cost))
+	return 1
 }
 
 // chunkIndex parses the {index} path value; malformed or out-of-range
@@ -457,38 +339,8 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
-// Serve accepts connections on l until ctx is cancelled, then shuts down
-// gracefully: the listener closes, idle connections drop, and in-flight
-// requests get DrainTimeout to finish before the server gives up. It
-// returns nil on a clean drained shutdown.
-func (s *Server) Serve(ctx context.Context, l net.Listener) error {
-	srv := &http.Server{
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return context.WithoutCancel(ctx) },
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(l) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	drain, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
-	defer cancel()
-	err := srv.Shutdown(drain)
-	if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
-		err = serr
-	}
-	return err
-}
-
-// ListenAndServe binds addr and calls Serve. To learn the bound address of
-// an ephemeral ":0" listen, bind a net.Listener yourself and call Serve.
-func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	return s.Serve(ctx, l)
+// seqSize estimates the rendered y4m size of frames 4:2:0 pictures, for
+// pre-sizing the render buffer.
+func seqSize(frames, w, h int) int {
+	return frames*(w*h*3/2+8) + 128
 }

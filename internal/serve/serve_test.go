@@ -148,9 +148,32 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("chunk 1 meta %+v, want %+v", info, want)
 	}
 
-	for _, path := range []string{"/v1/chunks/99", "/v1/chunks/-1", "/v1/chunks/nope"} {
-		if status, _ := get(t, ts.Client(), ts.URL+path); status != http.StatusNotFound {
-			t.Fatalf("%s: status %d, want 404", path, status)
+	// Unknown chunks and archives answer 404 with a JSON error object.
+	for _, tc := range []struct{ path, code string }{
+		{"/v1/chunks/99", "chunk_not_found"},
+		{"/v1/chunks/-1", "chunk_not_found"},
+		{"/v1/chunks/nope", "chunk_not_found"},
+		{"/v1/archives/absent", "archive_not_found"},
+		{"/v1/archives/absent/chunks/0", "archive_not_found"},
+	} {
+		resp, err := ts.Client().Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != "application/json" {
+			t.Fatalf("%s: Content-Type %q, want application/json", tc.path, got)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatalf("%s: body %q is not a JSON error object: %v", tc.path, body, err)
+		}
+		if eb.Code != tc.code || eb.Error == "" {
+			t.Fatalf("%s: error body %+v, want code %q and a message", tc.path, eb, tc.code)
 		}
 	}
 
@@ -200,8 +223,8 @@ func TestServeStampedeDecodesOnce(t *testing.T) {
 	if cs := s.CacheStats(); cs.Loads != 1 {
 		t.Fatalf("stampede of %d clients ran %d decodes, want exactly 1 (singleflight)", clients, cs.Loads)
 	}
-	if snap := s.Metrics().Snapshot(); snap.Counter("serve_chunk_decodes", "") != 1 {
-		t.Fatalf("serve_chunk_decodes = %d, want 1", snap.Counter("serve_chunk_decodes", ""))
+	if snap := s.Metrics().Snapshot(); snap.Counter("serve_chunk_decodes", "default") != 1 {
+		t.Fatalf("serve_chunk_decodes = %d, want 1", snap.Counter("serve_chunk_decodes", "default"))
 	}
 }
 
@@ -309,28 +332,42 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 }
 
-// TestErrorMapping pins the typed-error → status translation.
+// TestErrorMapping pins the typed-error → status + JSON error code
+// translation.
 func TestErrorMapping(t *testing.T) {
-	a := buildArchive(t, 2)
-	s := New(a)
 	cases := []struct {
-		err  error
-		want int
+		err      error
+		want     int
+		wantCode string
 	}{
-		{fmt.Errorf("x: %w", store.ErrChunkNotFound), http.StatusNotFound},
-		{fmt.Errorf("x: %w", store.ErrArchiveClosed), http.StatusServiceUnavailable},
+		{fmt.Errorf("x: %w", store.ErrChunkNotFound), http.StatusNotFound, "chunk_not_found"},
+		{fmt.Errorf("x: %w", ErrArchiveNotFound), http.StatusNotFound, "archive_not_found"},
+		{fmt.Errorf("x: %w", store.ErrArchiveClosed), http.StatusServiceUnavailable, "archive_closed"},
 		// Damaged or unreadable data is repairable (scrub, mirror), so it
 		// answers 503 + Retry-After rather than a 500 dead end.
-		{fmt.Errorf("x: %w", store.ErrCorruptRecord), http.StatusServiceUnavailable},
-		{fmt.Errorf("x: %w", store.ErrReadFailed), http.StatusServiceUnavailable},
-		{context.DeadlineExceeded, http.StatusServiceUnavailable},
-		{errors.New("opaque"), http.StatusInternalServerError},
+		{fmt.Errorf("x: %w", store.ErrCorruptRecord), http.StatusServiceUnavailable, "corrupt_record"},
+		{fmt.Errorf("x: %w", store.ErrReadFailed), http.StatusServiceUnavailable, "read_failed"},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable, "timeout"},
+		{errors.New("opaque"), http.StatusInternalServerError, "internal"},
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
-		s.writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, tc.err)
+		writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, tc.err)
 		if rec.Code != tc.want {
 			t.Fatalf("%v -> %d, want %d", tc.err, rec.Code, tc.want)
+		}
+		if got := rec.Header().Get("Content-Type"); got != "application/json" {
+			t.Fatalf("%v: Content-Type %q, want application/json", tc.err, got)
+		}
+		var body errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%v: body %q is not JSON: %v", tc.err, rec.Body.String(), err)
+		}
+		if body.Code != tc.wantCode {
+			t.Fatalf("%v: code %q, want %q", tc.err, body.Code, tc.wantCode)
+		}
+		if body.Error == "" {
+			t.Fatalf("%v: empty error message", tc.err)
 		}
 		if (errors.Is(tc.err, store.ErrCorruptRecord) || errors.Is(tc.err, store.ErrReadFailed)) && rec.Header().Get("Retry-After") == "" {
 			t.Fatalf("%v must advertise Retry-After", tc.err)
@@ -338,7 +375,7 @@ func TestErrorMapping(t *testing.T) {
 	}
 	// A hung-up client produces no write at all.
 	rec := httptest.NewRecorder()
-	s.writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, context.Canceled)
+	writeError(&statusWriter{ResponseWriter: rec, status: http.StatusOK}, context.Canceled)
 	if rec.Body.Len() != 0 {
 		t.Fatalf("canceled request must not write a body, got %q", rec.Body.String())
 	}

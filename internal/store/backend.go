@@ -1,0 +1,203 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Backend is the storage seam of the archive layer: one stored container
+// addressed by positionless reads and writes, plus its size and lifecycle.
+// It is the paper's substrate/controller boundary (§5) in interface form —
+// everything above it (archive indexing, the fault-tolerance ladder, the
+// scrubber, the serving catalog) is the memory controller, and a Backend is
+// whatever dense, possibly error-prone medium holds the bytes: a file, a
+// memory region, a remote block device, or any of those behind a
+// fault-injecting decorator (internal/faultio).
+//
+// ReadAt and WriteAt follow the io.ReaderAt/io.WriterAt contracts and must
+// be safe for unbounded concurrent use; Size reports the current container
+// length; Close releases the backing resource and is idempotent. Read-only
+// media report writes with an error wrapping ErrReadOnly — the scrubber
+// treats such a region as damaged-but-unrepairable rather than failing the
+// pass.
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current byte length of the stored container.
+	Size() (int64, error)
+	// Close releases the backing resource. Close is idempotent.
+	Close() error
+}
+
+// ErrReadOnly reports a write to a backend that does not accept writes
+// (SnapshotBackend, a FileBackend opened read-only). Match with errors.Is.
+var ErrReadOnly = errors.New("read-only backend")
+
+// FileBackend is the file-backed Backend: a thin wrapper over *os.File.
+// *os.File's ReadAt/WriteAt are positionless, so concurrent archive reads
+// share no cursor and take no lock.
+type FileBackend struct {
+	f        *os.File
+	writable bool
+}
+
+// OpenFileBackend opens path as an archive backend. With writable set the
+// file opens read-write (the form scrub repairs need); otherwise writes
+// report ErrReadOnly without touching the file.
+func OpenFileBackend(path string, writable bool) (*FileBackend, error) {
+	mode := os.O_RDONLY
+	if writable {
+		mode = os.O_RDWR
+	}
+	f, err := os.OpenFile(path, mode, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &FileBackend{f: f, writable: writable}, nil
+}
+
+// NewFileBackend wraps an already opened file as a writable backend. The
+// backend takes ownership: Close closes the file.
+func NewFileBackend(f *os.File) *FileBackend {
+	return &FileBackend{f: f, writable: true}
+}
+
+// ReadAt implements io.ReaderAt.
+func (b *FileBackend) ReadAt(p []byte, off int64) (int, error) { return b.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt; read-only backends report ErrReadOnly.
+func (b *FileBackend) WriteAt(p []byte, off int64) (int, error) {
+	if !b.writable {
+		return 0, fmt.Errorf("store: writing %s: %w", b.f.Name(), ErrReadOnly)
+	}
+	return b.f.WriteAt(p, off)
+}
+
+// Size returns the file's current length.
+func (b *FileBackend) Size() (int64, error) {
+	fi, err := b.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close closes the underlying file. Closing twice reports the second
+// close's error from the OS (os.ErrClosed), matching *os.File.
+func (b *FileBackend) Close() error { return b.f.Close() }
+
+// MemBackend is the in-memory Backend: a growable byte region safe for
+// concurrent use, the substrate model for RAM-resident archives and tests.
+type MemBackend struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMemBackend returns a memory backend holding a copy of data (the
+// backend must not alias caller memory: archives read from it concurrently
+// while the caller may keep mutating its slice).
+func NewMemBackend(data []byte) *MemBackend {
+	return &MemBackend{data: append([]byte(nil), data...)}
+}
+
+// ReadAt implements io.ReaderAt with the standard contract: a read ending
+// exactly at the container's end returns io.EOF alongside the bytes.
+func (b *MemBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative read offset %d", off)
+	}
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the region as needed (the gap, if
+// any, zero-fills — exactly like a sparse file).
+func (b *MemBackend) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative write offset %d", off)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(b.data)) {
+		grown := make([]byte, end)
+		copy(grown, b.data)
+		b.data = grown
+	}
+	return copy(b.data[off:], p), nil
+}
+
+// Size returns the current region length.
+func (b *MemBackend) Size() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return int64(len(b.data)), nil
+}
+
+// Close is an idempotent no-op: memory needs no release.
+func (b *MemBackend) Close() error { return nil }
+
+// Bytes returns a copy of the current contents.
+func (b *MemBackend) Bytes() []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]byte(nil), b.data...)
+}
+
+// SnapshotBackend is the read-only Backend: an immutable view over a byte
+// slice, for serving sealed archives (a mapped region, an embedded asset, a
+// replica fetched whole). Reads are zero-copy and lock-free; every write
+// reports ErrReadOnly.
+type SnapshotBackend struct {
+	data []byte
+}
+
+// NewSnapshotBackend wraps data as a read-only backend. The caller must not
+// mutate data afterwards — that is the snapshot contract.
+func NewSnapshotBackend(data []byte) *SnapshotBackend { return &SnapshotBackend{data: data} }
+
+// ReadAt implements io.ReaderAt.
+func (b *SnapshotBackend) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative read offset %d", off)
+	}
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt always reports ErrReadOnly: snapshots are sealed.
+func (b *SnapshotBackend) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("store: writing snapshot: %w", ErrReadOnly)
+}
+
+// Size returns the snapshot length.
+func (b *SnapshotBackend) Size() (int64, error) { return int64(len(b.data)), nil }
+
+// Close is an idempotent no-op.
+func (b *SnapshotBackend) Close() error { return nil }
+
+// OpenArchiveBackend indexes a container stored on any Backend. It is
+// OpenChunkArchiveAt with the full seam: reads go through the backend's
+// ReadAt, Scrub repairs go through its WriteAt (read-only backends report
+// the damage unrepaired instead), and the caller closes the backend after
+// the archive. Compose backends freely — a faultio decorator over a
+// MemBackend behaves exactly like one over a file.
+func OpenArchiveBackend(b Backend, opts ...ArchiveOption) (*ChunkArchive, error) {
+	return OpenChunkArchiveAt(b, opts...)
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sync"
 	"sync/atomic"
 
 	"videoapp/internal/codec"
@@ -323,18 +322,6 @@ func OpenChunkArchiveAt(r io.ReaderAt, opts ...ArchiveOption) (*ChunkArchive, er
 	return a, nil
 }
 
-// OpenChunkArchive indexes a container through a seek-cursor reader. If r
-// also implements io.ReaderAt (os.File, bytes.Reader do) it is used
-// directly; otherwise reads are serialized behind a mutex-guarded
-// seek-and-read adapter, so concurrent ReadChunk calls remain correct but
-// lose their parallelism. New code should prefer OpenChunkArchiveAt.
-func OpenChunkArchive(r io.ReadSeeker, opts ...ArchiveOption) (*ChunkArchive, error) {
-	if ra, ok := r.(io.ReaderAt); ok {
-		return OpenChunkArchiveAt(ra, opts...)
-	}
-	return OpenChunkArchiveAt(&seekerAt{r: r}, opts...)
-}
-
 // retryAt wraps a ReaderAt with the fault policy's retry ladder for the
 // open-time index scan: transient errors are retried with the same backoff
 // as region reads, while EOF-class results return immediately — they are
@@ -361,27 +348,15 @@ func (ra *retryAt) ReadAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-// seekerAt adapts a bare io.ReadSeeker to io.ReaderAt by serializing
-// seek+read pairs behind a mutex. It exists only for OpenChunkArchive
-// compatibility; native ReaderAt implementations never pay this lock.
-type seekerAt struct {
-	mu sync.Mutex
-	r  io.ReadSeeker
-}
-
-func (s *seekerAt) ReadAt(p []byte, off int64) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.r.Seek(off, io.SeekStart); err != nil {
-		return 0, err
+// noEOF converts a clean io.EOF into io.ErrUnexpectedEOF: running out of
+// bytes inside a record is structural truncation, not a clean end of the
+// container, and callers probing errors.Is(err, io.EOF) for end-of-archive
+// must never match a corruption report.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
 	}
-	n, err := io.ReadFull(s.r, p)
-	if err == io.ErrUnexpectedEOF {
-		// The io.ReaderAt contract reports a short read at end of data
-		// as io.EOF.
-		err = io.EOF
-	}
-	return n, err
+	return err
 }
 
 // readChunkHeader parses one record header at off, returning the index entry
@@ -431,20 +406,24 @@ func readChunkHeader(r io.ReaderAt, off int64, version byte) (chunkRec, int64, e
 	for s := 0; s < nStreams; s++ {
 		var nameLen [1]byte
 		if _, err := io.ReadFull(sr, nameLen[:]); err != nil {
-			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
+			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, noEOF(err))
 		}
-		entry := make([]byte, int(nameLen[0])+entryExtra)
+		// Widen before any offset arithmetic: byte addition wraps mod 256,
+		// which for names longer than 247 bytes would invert the slice
+		// bounds below and panic instead of parsing.
+		nl := int(nameLen[0])
+		entry := make([]byte, nl+entryExtra)
 		if _, err := io.ReadFull(sr, entry); err != nil {
-			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, err)
+			return chunkRec{}, 0, fmt.Errorf("store: %w: truncated stream entry: %w", ErrCorruptRecord, noEOF(err))
 		}
-		name := string(entry[:nameLen[0]])
+		name := string(entry[:nl])
 		rs := streamRec{
 			name:  name,
-			bits:  int64(binary.BigEndian.Uint64(entry[nameLen[0] : nameLen[0]+8])),
-			bytes: int64(binary.BigEndian.Uint32(entry[nameLen[0]+8 : nameLen[0]+12])),
+			bits:  int64(binary.BigEndian.Uint64(entry[nl : nl+8])),
+			bytes: int64(binary.BigEndian.Uint32(entry[nl+8 : nl+12])),
 		}
 		if version >= 2 {
-			rs.crc = binary.BigEndian.Uint32(entry[nameLen[0]+12:])
+			rs.crc = binary.BigEndian.Uint32(entry[nl+12:])
 		}
 		if rs.bits < 0 || rs.bytes < 0 || rs.bits > rs.bytes*8 {
 			return chunkRec{}, 0, fmt.Errorf("store: %w: stream %q: %d bits in %d bytes", ErrCorruptRecord, name, rs.bits, rs.bytes)
@@ -683,9 +662,15 @@ func (a *ChunkArchive) ReadChunk(i int) (*codec.Video, []core.FramePartition, er
 // the records already present, positions the stream at the end, and returns
 // a writer that continues where the last chunk stopped, at the container's
 // own format version (a version-1 container keeps accumulating version-1
-// records; records of mixed layouts never share a container).
+// records; records of mixed layouts never share a container). rw must also
+// implement io.ReaderAt (os.File does) so the index scan can share the
+// lock-free read path; a seek-only stream cannot be appended to.
 func AppendChunkWriter(rw io.ReadWriteSeeker) (*ChunkWriter, error) {
-	a, err := OpenChunkArchive(rw)
+	ra, ok := rw.(io.ReaderAt)
+	if !ok {
+		return nil, fmt.Errorf("store: append target %T does not implement io.ReaderAt", rw)
+	}
+	a, err := OpenChunkArchiveAt(ra)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"videoapp/internal/codec"
@@ -64,7 +65,7 @@ func TestChunkArchiveRoundTrip(t *testing.T) {
 	}
 	writeChunks(t, cw, chunks, chunkParts, 0)
 
-	a, err := OpenChunkArchive(bytes.NewReader(buf.Bytes()))
+	a, err := OpenChunkArchiveAt(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,23 +114,18 @@ func TestChunkArchiveRoundTrip(t *testing.T) {
 // trackingReader records every byte range read from the underlying reader.
 type trackingReader struct {
 	r     *bytes.Reader
-	pos   int64
+	mu    sync.Mutex
 	reads [][2]int64
 }
 
-func (tr *trackingReader) Read(p []byte) (int, error) {
-	n, err := tr.r.Read(p)
+func (tr *trackingReader) ReadAt(p []byte, off int64) (int, error) {
+	n, err := tr.r.ReadAt(p, off)
 	if n > 0 {
-		tr.reads = append(tr.reads, [2]int64{tr.pos, tr.pos + int64(n)})
-		tr.pos += int64(n)
+		tr.mu.Lock()
+		tr.reads = append(tr.reads, [2]int64{off, off + int64(n)})
+		tr.mu.Unlock()
 	}
 	return n, err
-}
-
-func (tr *trackingReader) Seek(off int64, whence int) (int64, error) {
-	p, err := tr.r.Seek(off, whence)
-	tr.pos = p
-	return p, err
 }
 
 // TestReadChunkTouchesOnlyItsPayload pins the random-access guarantee:
@@ -145,7 +141,7 @@ func TestReadChunkTouchesOnlyItsPayload(t *testing.T) {
 	writeChunks(t, cw, chunks, chunkParts, 0)
 
 	tr := &trackingReader{r: bytes.NewReader(buf.Bytes())}
-	a, err := OpenChunkArchive(tr)
+	a, err := OpenChunkArchiveAt(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +216,7 @@ func TestAppendChunkWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := OpenChunkArchive(bytes.NewReader(data))
+	a, err := OpenChunkArchiveAt(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +255,7 @@ func TestOpenChunkArchiveRejectsGarbage(t *testing.T) {
 		"truncated": []byte("VACS"),
 	}
 	for name, data := range cases {
-		if _, err := OpenChunkArchive(bytes.NewReader(data)); err == nil {
+		if _, err := OpenChunkArchiveAt(bytes.NewReader(data)); err == nil {
 			t.Fatalf("%s: must be rejected", name)
 		}
 	}
@@ -272,7 +268,7 @@ func TestOpenChunkArchiveRejectsGarbage(t *testing.T) {
 	}
 	writeChunks(t, cw, chunks, chunkParts, 0)
 	data := buf.Bytes()
-	a, err := OpenChunkArchive(bytes.NewReader(data))
+	a, err := OpenChunkArchiveAt(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +279,7 @@ func TestOpenChunkArchiveRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	data[first.Offset+first.Length] ^= 0xFF
-	if _, err := OpenChunkArchive(bytes.NewReader(data)); err == nil {
+	if _, err := OpenChunkArchiveAt(bytes.NewReader(data)); err == nil {
 		t.Fatal("corrupt chunk marker must be rejected")
 	}
 }

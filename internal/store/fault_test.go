@@ -311,10 +311,22 @@ func TestV1ContainerCompat(t *testing.T) {
 	}
 }
 
-// rwsBuffer is a minimal in-memory io.ReadWriteSeeker for append tests.
+// rwsBuffer is a minimal in-memory io.ReadWriteSeeker + io.ReaderAt for
+// append tests.
 type rwsBuffer struct {
 	data []byte
 	pos  int64
+}
+
+func (b *rwsBuffer) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 func (b *rwsBuffer) Read(p []byte) (int, error) {

@@ -93,4 +93,56 @@ if ! wait "$pid"; then
     echo "server exited non-zero:"; cat "$tmp/serve.log"; exit 1
 fi
 pid=""
+
+echo "== catalog under the same faults"
+mkdir "$tmp/archives"
+cp "$tmp/t.vacs" "$tmp/archives/a.vacs"
+cp "$tmp/t.vacs" "$tmp/archives/b.vacs"
+"$tmp/videoapp" -archive-dir "$tmp/archives" -addr 127.0.0.1:0 \
+    -fault-profile "seed=7,transient=0.01" -read-retries 6 \
+    serve >"$tmp/catalog.log" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's#^serving .* on \(http://[^ ]*\).*$#\1#p' "$tmp/catalog.log" | head -n 1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "catalog server died:"; cat "$tmp/catalog.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "catalog server never reported its address:"; cat "$tmp/catalog.log"; exit 1; }
+echo "   up at $url"
+
+errors=0
+degraded=0
+for name in a b; do
+    for i in 0 1 2 3; do
+        code=$(fetch_code "$url/v1/archives/$name/chunks/$i" "$tmp/h.txt" "$tmp/b.y4m")
+        case "$code" in
+        2??) ;;
+        *)
+            echo "archive $name chunk $i: HTTP $code"
+            errors=$((errors + 1))
+            ;;
+        esac
+        if grep -qi '^x-videoapp-degraded:' "$tmp/h.txt"; then
+            degraded=$((degraded + 1))
+        fi
+    done
+done
+[ "$errors" -eq 0 ] || { echo "$errors non-2xx catalog responses"; cat "$tmp/catalog.log"; exit 1; }
+[ "$degraded" -ge 1 ] || { echo "no degraded catalog responses despite corruption"; exit 1; }
+echo "   0 errors, $degraded degraded responses across 2 archives"
+
+code=$(fetch_code "$url/metrics" "$tmp/h.txt" "$tmp/metrics.txt")
+[ "$code" = 200 ] || { echo "/metrics HTTP $code"; exit 1; }
+grep -q 'serve_catalog_open_archives' "$tmp/metrics.txt" \
+    || { echo "metrics missing open-archives gauge:"; cat "$tmp/metrics.txt"; exit 1; }
+
+echo "== catalog shutdown"
+kill -INT "$pid"
+if ! wait "$pid"; then
+    echo "catalog server exited non-zero:"; cat "$tmp/catalog.log"; exit 1
+fi
+pid=""
 echo "chaos smoke OK"

@@ -3,6 +3,9 @@
 # archive a synthetic video, start `videoapp serve` on an ephemeral port,
 # fetch the index and one decoded chunk (asserting HTTP 200 and sane
 # bodies), then SIGINT the server and require a clean drained exit.
+# A second pass exercises the multi-archive catalog: `serve -archive-dir`
+# over a directory of archives, the /v1/archives routes, the legacy-alias
+# equivalence, and a SIGHUP rescan picking up a new archive live.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 GO=${GO:-go}
@@ -62,5 +65,63 @@ if ! wait "$pid"; then
     echo "server exited non-zero:"; cat "$tmp/serve.log"; exit 1
 fi
 grep -q 'server drained' "$tmp/serve.log" || { echo "no drained message:"; cat "$tmp/serve.log"; exit 1; }
+pid=""
+
+echo "== catalog: serve -archive-dir"
+mkdir "$tmp/archives"
+cp "$tmp/t.vacs" "$tmp/archives/alpha.vacs"
+cp "$tmp/t.vacs" "$tmp/archives/beta.vacs"
+"$tmp/videoapp" -archive-dir "$tmp/archives" -addr 127.0.0.1:0 serve >"$tmp/catalog.log" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's#^serving .* on \(http://[^ ]*\).*$#\1#p' "$tmp/catalog.log" | head -n 1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "catalog server died:"; cat "$tmp/catalog.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "catalog server never reported its address:"; cat "$tmp/catalog.log"; exit 1; }
+echo "   up at $url"
+
+echo "== catalog listing"
+fetch "$url/v1/archives" "$tmp/archives.json"
+grep -q '"name":"alpha"' "$tmp/archives.json" || { echo "listing missing alpha:"; cat "$tmp/archives.json"; exit 1; }
+grep -q '"name":"beta"' "$tmp/archives.json" || { echo "listing missing beta:"; cat "$tmp/archives.json"; exit 1; }
+
+echo "== named chunk route"
+fetch "$url/v1/archives/beta/chunks/0" "$tmp/beta0.y4m"
+head -c 9 "$tmp/beta0.y4m" | grep -q 'YUV4MPEG' || { echo "beta chunk 0 is not y4m"; exit 1; }
+
+echo "== legacy alias = default archive"
+fetch "$url/v1/chunks/0" "$tmp/legacy0.y4m"
+fetch "$url/v1/archives/alpha/chunks/0" "$tmp/alpha0.y4m"
+cmp -s "$tmp/legacy0.y4m" "$tmp/alpha0.y4m" \
+    || { echo "legacy /v1/chunks/0 differs from default archive alpha"; exit 1; }
+
+echo "== SIGHUP rescan picks up a new archive"
+cp "$tmp/t.vacs" "$tmp/archives/gamma.vacs"
+kill -HUP "$pid"
+found=""
+for _ in $(seq 1 100); do
+    fetch "$url/v1/archives" "$tmp/archives.json" || true
+    if grep -q '"name":"gamma"' "$tmp/archives.json"; then found=1; break; fi
+    sleep 0.1
+done
+[ -n "$found" ] || { echo "rescan never picked up gamma:"; cat "$tmp/archives.json"; exit 1; }
+fetch "$url/v1/archives/gamma/chunks/0" "$tmp/gamma0.y4m"
+head -c 9 "$tmp/gamma0.y4m" | grep -q 'YUV4MPEG' || { echo "gamma chunk 0 is not y4m"; exit 1; }
+
+echo "== catalog metrics"
+fetch "$url/metrics" "$tmp/metrics.txt"
+grep -q 'serve_catalog_open_archives' "$tmp/metrics.txt" \
+    || { echo "metrics missing open-archives gauge:"; cat "$tmp/metrics.txt"; exit 1; }
+
+echo "== catalog shutdown"
+kill -INT "$pid"
+if ! wait "$pid"; then
+    echo "catalog server exited non-zero:"; cat "$tmp/catalog.log"; exit 1
+fi
+grep -q 'server drained' "$tmp/catalog.log" || { echo "no drained message:"; cat "$tmp/catalog.log"; exit 1; }
 pid=""
 echo "serve smoke OK"

@@ -39,15 +39,30 @@ type (
 	// ChunkServer is the HTTP read path over one archive: decoded chunk
 	// frames, per-chunk metadata, the archive index and a metrics snapshot,
 	// fronted by a sized LRU decoded-chunk cache with request coalescing.
-	// See the internal/serve package documentation for the endpoints.
+	// It is the single-archive special case of a Catalog. See the
+	// internal/serve package documentation for the endpoints.
 	ChunkServer = serve.Server
-	// ServeOption configures a ChunkServer at construction; see
+	// Catalog is the HTTP read path over N named archives — the
+	// multi-tenant storage node. Archives are declared as ArchiveSpecs,
+	// opened lazily, idle-closed (WithIdleTimeout), and share one
+	// decoded-chunk cache; each has its own fault policy, circuit breaker
+	// and labeled metrics. Routes live under /v1/archives/{name}/..., with
+	// the legacy /v1/chunks/... routes aliasing the default archive.
+	Catalog = serve.Catalog
+	// ArchiveSpec declares one Catalog tenant: a routable name and a
+	// function producing its storage Backend, plus optional per-archive
+	// ArchiveOptions and FaultPolicy.
+	ArchiveSpec = serve.ArchiveSpec
+	// Backend is the pluggable storage seam archives live on: positionless
+	// reads and writes plus size and lifecycle. See OpenFileBackend,
+	// NewMemBackend, NewSnapshotBackend; internal/faultio decorates any
+	// Backend with deterministic fault injection.
+	Backend = store.Backend
+	// ServeOption configures a ChunkServer or Catalog at construction; see
 	// WithCacheBytes, WithRequestTimeout, WithServeWorkers,
-	// WithDrainTimeout, WithServeObserver and WithFaultPolicy.
+	// WithDrainTimeout, WithIdleTimeout, WithServeObserver and
+	// WithFaultPolicy.
 	ServeOption = serve.Option
-	// ServeOptions is the struct form of the server configuration, kept
-	// for the WithServeOptions compatibility shim.
-	ServeOptions = serve.Options
 	// ArchiveOption configures a ChunkArchive at open time; see
 	// WithArchivePolicy and WithMirror.
 	ArchiveOption = store.ArchiveOption
@@ -81,6 +96,12 @@ var (
 	// attached) — the failure class that trips the serving layer's
 	// circuit breaker, as opposed to ErrCorruptRecord's data damage.
 	ErrReadFailed = store.ErrReadFailed
+	// ErrArchiveNotFound reports a Catalog request for an archive name not
+	// in the catalog; over HTTP it is a 404 with code "archive_not_found".
+	ErrArchiveNotFound = serve.ErrArchiveNotFound
+	// ErrReadOnly reports a write to a read-only storage backend
+	// (NewSnapshotBackend, OpenFileBackend with writable=false).
+	ErrReadOnly = store.ErrReadOnly
 )
 
 // SequenceSource adapts an in-memory sequence to a ChunkSource. It does not
@@ -107,6 +128,29 @@ func Y4MSource(r io.Reader, name string) (ChunkSource, error) { return chunk.Fro
 func OpenArchive(r io.ReaderAt, opts ...ArchiveOption) (*ChunkArchive, error) {
 	return store.OpenChunkArchiveAt(r, opts...)
 }
+
+// OpenArchiveBackend indexes a chunked archive stored on any Backend — the
+// full storage seam: reads go through the backend's ReadAt, Scrub repairs
+// go through its WriteAt (read-only backends report damage unrepaired),
+// and the caller closes the backend after the archive. Backends compose:
+// a faultio decorator over a memory region serves exactly like a file.
+func OpenArchiveBackend(b Backend, opts ...ArchiveOption) (*ChunkArchive, error) {
+	return store.OpenArchiveBackend(b, opts...)
+}
+
+// OpenFileBackend opens a file as an archive Backend; writable selects the
+// read-write form Scrub repairs need, otherwise writes report ErrReadOnly.
+func OpenFileBackend(path string, writable bool) (Backend, error) {
+	return store.OpenFileBackend(path, writable)
+}
+
+// NewMemBackend returns an in-memory Backend holding a copy of data — the
+// RAM-resident archive form.
+func NewMemBackend(data []byte) Backend { return store.NewMemBackend(data) }
+
+// NewSnapshotBackend wraps data as a sealed read-only Backend; the caller
+// must not mutate data afterwards.
+func NewSnapshotBackend(data []byte) Backend { return store.NewSnapshotBackend(data) }
 
 // WithArchivePolicy attaches a FaultPolicy to the archive: every read that
 // does not carry a per-call policy on its context retries and backs off as
@@ -138,6 +182,23 @@ func NewChunkServer(a *ChunkArchive, opts ...ServeOption) *ChunkServer {
 	return serve.New(a, opts...)
 }
 
+// NewCatalog returns the HTTP serving layer over N named archives: every
+// route of NewChunkServer, per archive, under /v1/archives/{name}/...,
+// with /v1/archives listing the catalog and the legacy /v1 routes aliasing
+// the default (first) archive. Archives open lazily on first request and
+// close again after WithIdleTimeout of disuse; all archives share one
+// decoded-chunk cache bounded by WithCacheBytes, while fault policies,
+// circuit breakers and chunk counters are per archive. Archives can be
+// added and removed at runtime (Catalog.Add, Catalog.Remove) — the CLI's
+// serve -archive-dir SIGHUP rescan is built on exactly that.
+func NewCatalog(specs []ArchiveSpec, opts ...ServeOption) (*Catalog, error) {
+	return serve.NewCatalog(specs, opts...)
+}
+
+// WithIdleTimeout closes lazily-opened catalog archives unused for d;
+// d <= 0 (the default) keeps them open forever.
+func WithIdleTimeout(d time.Duration) ServeOption { return serve.WithIdleTimeout(d) }
+
 // WithCacheBytes bounds the server's decoded-chunk cache by rendered
 // output size; n <= 0 selects the 256 MiB default.
 func WithCacheBytes(n int64) ServeOption { return serve.WithCacheBytes(n) }
@@ -164,17 +225,9 @@ func WithServeObserver(o Observer) ServeOption { return serve.WithObserver(o) }
 // breaker's threshold and cooldown.
 func WithFaultPolicy(p FaultPolicy) ServeOption { return serve.WithFaultPolicy(p) }
 
-// WithServeOptions applies a whole ServeOptions struct at once.
-//
-// Deprecated: configure the server with the individual options
-// (WithCacheBytes, WithRequestTimeout, WithServeWorkers, WithDrainTimeout,
-// WithServeObserver, WithFaultPolicy). This shim exists for one release to
-// ease migration from the former NewChunkServer(a, ServeOptions{...})
-// signature and will then be removed.
-func WithServeOptions(o ServeOptions) ServeOption { return serve.WithOptions(o) }
-
 // AppendArchive reopens an existing chunked archive for appending more
-// chunks (append-on-write: earlier bytes are never rewritten).
+// chunks (append-on-write: earlier bytes are never rewritten). rw must
+// also implement io.ReaderAt (os.File does) for the lock-free index scan.
 func AppendArchive(rw io.ReadWriteSeeker) (*ChunkWriter, error) { return store.AppendChunkWriter(rw) }
 
 // chunkConfig assembles the streaming engine configuration from the
