@@ -64,7 +64,10 @@ type Catalog struct {
 	mu          sync.Mutex
 	tenants     map[string]*tenant
 	defaultName string
-	open        int // archives currently open, mirrored to the gauge
+
+	open    atomic.Int64  // archives currently open, mirrored to the gauge
+	gaugeMu sync.Mutex    // keeps open-gauge publishes in delta order
+	gens    atomic.Uint64 // catalog-global open generation; names cache spaces
 }
 
 // chunkPayload is one cached chunk response: the rendered y4m bytes plus
@@ -85,8 +88,9 @@ type tenant struct {
 	mu      sync.Mutex
 	archive *store.ChunkArchive
 	backend store.Backend // nil for static tenants: the caller owns their archive
-	gen     uint64        // bumped per open; names the cache space
+	gen     uint64        // catalog-global generation of the current open; names the cache space
 	static  bool          // attached pre-opened, never idle-closed
+	retired bool          // Removed from the catalog; the last release closes
 
 	refs    atomic.Int64 // requests currently inside this tenant
 	lastUse atomic.Int64 // unix nanos of the last acquire/release
@@ -96,10 +100,11 @@ type tenant struct {
 
 func (t *tenant) touch() { t.lastUse.Store(time.Now().UnixNano()) }
 
-// space names the tenant's current cache namespace. The generation suffix
-// retires the whole namespace when the archive is reopened, so entries
-// cached from a previous open (or loads that land after a close) can never
-// serve a reopened archive.
+// space names the tenant's current cache namespace. The generation is
+// drawn from a catalog-global counter at every open, so no two opens —
+// including a Remove/Add recreating the same name over a different backing
+// file — ever share a namespace, and entries cached from a previous open
+// (or loads that land after a close) can never serve a reopened archive.
 func (t *tenant) space() string {
 	return t.name + "#" + strconv.FormatUint(t.gen, 10)
 }
@@ -171,7 +176,8 @@ func validName(name string) error {
 	return nil
 }
 
-// Add registers one more archive. The first archive ever added becomes the
+// Add registers one more archive. When the catalog has no default (nothing
+// added yet, or every archive was Removed), the new archive becomes the
 // default for the legacy routes. Adding a name that already exists is an
 // error; Remove it first to replace its spec.
 func (c *Catalog) Add(spec ArchiveSpec) error {
@@ -200,40 +206,46 @@ func (c *Catalog) Add(spec ArchiveSpec) error {
 func (c *Catalog) attach(name string, a *store.ChunkArchive) {
 	t := c.newTenant(ArchiveSpec{Name: name})
 	t.archive = a
-	t.gen = 1
+	t.gen = c.gens.Add(1)
 	t.static = true
 	c.mu.Lock()
 	c.tenants[name] = t
 	if c.defaultName == "" {
 		c.defaultName = name
 	}
-	c.openDeltaLocked(1)
 	c.mu.Unlock()
+	c.openDelta(1)
 }
 
-// Remove drops an archive from the catalog, closing it if the catalog
-// opened it and purging its cached chunks. In-flight requests against it
-// finish on the archive they hold; new requests answer 404.
+// Remove drops an archive from the catalog: new requests answer 404
+// immediately, its cached chunks are purged, and the archive — if the
+// catalog opened it — closes once the last in-flight request against it
+// releases, so requests that already acquired it finish on the archive
+// they hold. When the removed archive was the legacy-route default, the
+// lexicographically smallest remaining archive takes over the default
+// slot (or, if the catalog emptied, the next Add does).
 func (c *Catalog) Remove(name string) error {
 	c.mu.Lock()
 	t, ok := c.tenants[name]
 	if ok {
 		delete(c.tenants, name)
+		if c.defaultName == name {
+			c.defaultName = ""
+			for other := range c.tenants {
+				if c.defaultName == "" || other < c.defaultName {
+					c.defaultName = other
+				}
+			}
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("serve: %w: %q", ErrArchiveNotFound, name)
 	}
 	t.mu.Lock()
-	if t.archive != nil && !t.static {
-		t.archive.Close()
-		if t.backend != nil {
-			t.backend.Close()
-		}
-		t.archive, t.backend = nil, nil
-		c.mu.Lock()
-		c.openDeltaLocked(-1)
-		c.mu.Unlock()
+	t.retired = true
+	if t.refs.Load() == 0 {
+		c.closeTenantLocked(t)
 	}
 	t.mu.Unlock()
 	// Every generation of the tenant's cache space starts "name#".
@@ -262,18 +274,52 @@ func (c *Catalog) DefaultName() string {
 	return c.defaultName
 }
 
-// openDeltaLocked adjusts the open-archive count and republishes the
-// gauge; the catalog lock must be held.
-func (c *Catalog) openDeltaLocked(d int) {
-	c.open += d
-	c.observer.Gauge(obs.GaugeCatalogOpenArchives, "", float64(c.open))
+// openDelta adjusts the open-archive count and republishes the gauge. It
+// takes only the gauge's own lock, never c.mu, so tenant-lock holders can
+// call it without ordering against the catalog lock — the tenant paths
+// (acquire, Remove, CloseIdle, Close) all run open/close bookkeeping while
+// holding t.mu, and taking c.mu there would invert handleArchives' c.mu →
+// t.mu order and deadlock.
+func (c *Catalog) openDelta(d int64) {
+	c.gaugeMu.Lock()
+	c.observer.Gauge(obs.GaugeCatalogOpenArchives, "", float64(c.open.Add(d)))
+	c.gaugeMu.Unlock()
 }
 
 // OpenArchives returns the number of archives currently held open.
-func (c *Catalog) OpenArchives() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.open
+func (c *Catalog) OpenArchives() int { return int(c.open.Load()) }
+
+// closeTenantLocked closes the tenant's lazily-opened archive and backend,
+// reporting whether it closed anything (static tenants and already-closed
+// tenants are no-ops). t.mu must be held; c.mu must not be needed — see
+// openDelta.
+func (c *Catalog) closeTenantLocked(t *tenant) bool {
+	if t.archive == nil || t.static {
+		return false
+	}
+	t.archive.Close()
+	if t.backend != nil {
+		t.backend.Close()
+	}
+	t.archive, t.backend = nil, nil
+	c.openDelta(-1)
+	return true
+}
+
+// releaseRef drops one request's pin on the tenant. The last release of a
+// retired tenant (Removed while requests were in flight) closes its
+// archive: Remove defers the close here so in-flight requests finish on
+// the archive they hold.
+func (c *Catalog) releaseRef(t *tenant) {
+	t.touch()
+	if t.refs.Add(-1) > 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.retired {
+		c.closeTenantLocked(t)
+	}
+	t.mu.Unlock()
 }
 
 // acquire pins the named tenant for one request: it lazily opens the
@@ -290,6 +336,12 @@ func (c *Catalog) acquire(name string) (*tenant, *store.ChunkArchive, string, fu
 	t.refs.Add(1)
 	t.touch()
 	t.mu.Lock()
+	if t.retired {
+		// Removed after we looked it up: behave as if the lookup missed.
+		t.mu.Unlock()
+		c.releaseRef(t)
+		return nil, nil, "", nil, fmt.Errorf("serve: %w: %q", ErrArchiveNotFound, name)
+	}
 	if t.archive == nil {
 		b, err := t.spec.Open()
 		if err == nil {
@@ -299,10 +351,8 @@ func (c *Catalog) acquire(name string) (*tenant, *store.ChunkArchive, string, fu
 				b.Close()
 			} else {
 				t.archive, t.backend = a, b
-				t.gen++
-				c.mu.Lock()
-				c.openDeltaLocked(1)
-				c.mu.Unlock()
+				t.gen = c.gens.Add(1)
+				c.openDelta(1)
 			}
 		} else {
 			// The medium is unreachable, not the data damaged: surface as a
@@ -311,16 +361,13 @@ func (c *Catalog) acquire(name string) (*tenant, *store.ChunkArchive, string, fu
 		}
 		if err != nil {
 			t.mu.Unlock()
-			t.refs.Add(-1)
+			c.releaseRef(t)
 			return nil, nil, "", nil, err
 		}
 	}
 	a, space := t.archive, t.space()
 	t.mu.Unlock()
-	release := func() {
-		t.touch()
-		t.refs.Add(-1)
-	}
+	release := func() { c.releaseRef(t) }
 	return t, a, space, release, nil
 }
 
@@ -349,16 +396,8 @@ func (c *Catalog) CloseIdle(now time.Time) int {
 		// Re-check under the tenant lock: an acquire that raced us either
 		// bumped refs before we looked (we skip) or will block on t.mu and
 		// reopen a fresh generation after we close.
-		if t.archive != nil && t.refs.Load() == 0 && t.lastUse.Load() <= cutoff {
-			t.archive.Close()
-			if t.backend != nil {
-				t.backend.Close()
-			}
-			t.archive, t.backend = nil, nil
+		if t.refs.Load() == 0 && t.lastUse.Load() <= cutoff && c.closeTenantLocked(t) {
 			closed++
-			c.mu.Lock()
-			c.openDeltaLocked(-1)
-			c.mu.Unlock()
 		}
 		t.mu.Unlock()
 	}
@@ -377,16 +416,7 @@ func (c *Catalog) Close() error {
 	c.mu.Unlock()
 	for _, t := range tenants {
 		t.mu.Lock()
-		if t.archive != nil && !t.static {
-			t.archive.Close()
-			if t.backend != nil {
-				t.backend.Close()
-			}
-			t.archive, t.backend = nil, nil
-			c.mu.Lock()
-			c.openDeltaLocked(-1)
-			c.mu.Unlock()
-		}
+		c.closeTenantLocked(t)
 		t.mu.Unlock()
 	}
 	return nil
@@ -475,16 +505,24 @@ type archiveEntry struct {
 }
 
 func (c *Catalog) handleArchives(w http.ResponseWriter, r *http.Request) error {
+	// Snapshot membership under c.mu, then read each tenant's open state
+	// under its own lock only after c.mu is released: tenant locks are
+	// held across slow work (spec.Open on the lazy-open path), and nesting
+	// t.mu inside c.mu here would stall every catalog lookup behind it.
 	c.mu.Lock()
 	def := c.defaultName
-	entries := make([]archiveEntry, 0, len(c.tenants))
-	for name, t := range c.tenants {
+	tenants := make([]*tenant, 0, len(c.tenants))
+	for _, t := range c.tenants {
+		tenants = append(tenants, t)
+	}
+	c.mu.Unlock()
+	entries := make([]archiveEntry, 0, len(tenants))
+	for _, t := range tenants {
 		t.mu.Lock()
 		open := t.archive != nil
 		t.mu.Unlock()
-		entries = append(entries, archiveEntry{Name: name, Default: name == def, Open: open})
+		entries = append(entries, archiveEntry{Name: t.name, Default: t.name == def, Open: open})
 	}
-	c.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	return writeJSON(w, struct {
 		Archives []archiveEntry `json:"archives"`

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -431,6 +432,199 @@ func TestCatalogAddRemove(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("surviving archive: status %d", status)
 	}
+}
+
+// trackedBackend records whether the catalog has closed it.
+type trackedBackend struct {
+	store.Backend
+	closed atomic.Bool
+}
+
+func (b *trackedBackend) Close() error {
+	b.closed.Store(true)
+	return b.Backend.Close()
+}
+
+// TestCatalogRemoveDefersCloseToLastRelease pins Remove's in-flight
+// contract: a request that acquired the archive before Remove keeps a
+// readable archive (the backend must not close under it); new requests
+// answer 404 immediately; and the last release — not Remove — closes the
+// backend.
+func TestCatalogRemoveDefersCloseToLastRelease(t *testing.T) {
+	data := buildArchiveBytes(t, 1)
+	tb := &trackedBackend{Backend: store.NewMemBackend(data)}
+	cat, err := NewCatalog([]ArchiveSpec{
+		{Name: "a", Open: func() (store.Backend, error) { return tb, nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	_, a, _, release, err := cat.acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.closed.Load() {
+		t.Fatal("Remove closed the backend with a request still in flight")
+	}
+	// The in-flight request still reads real bytes through the backend.
+	if _, err := a.ReadChunkContext(context.Background(), 0); err != nil {
+		t.Fatalf("in-flight read after Remove: %v", err)
+	}
+	// New requests miss: the tenant is gone even though it is still open.
+	if _, _, _, _, err := cat.acquire("a"); !errors.Is(err, ErrArchiveNotFound) {
+		t.Fatalf("acquire after Remove: %v, want ErrArchiveNotFound", err)
+	}
+	release()
+	if !tb.closed.Load() {
+		t.Fatal("last release did not close the removed archive's backend")
+	}
+	if got := cat.OpenArchives(); got != 0 {
+		t.Fatalf("OpenArchives = %d after deferred close, want 0", got)
+	}
+}
+
+// TestCatalogRemoveReassignsDefault pins the default-slot lifecycle:
+// removing the default archive hands the legacy routes to the smallest
+// remaining name, and once the catalog empties, the next Add re-elects.
+func TestCatalogRemoveReassignsDefault(t *testing.T) {
+	data := buildArchiveBytes(t, 1)
+	open := func() (store.Backend, error) { return store.NewMemBackend(data), nil }
+	cat, err := NewCatalog([]ArchiveSpec{
+		{Name: "b", Open: open}, // first added: the default
+		{Name: "c", Open: open},
+		{Name: "a", Open: open},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	if err := cat.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if def := cat.DefaultName(); def != "a" {
+		t.Fatalf("DefaultName after removing default = %q, want smallest remaining %q", def, "a")
+	}
+	status, _, hdr := fetch(t, ts.Client(), ts.URL+"/v1/chunks/0")
+	if status != http.StatusOK || hdr.Get("X-Archive-Name") != "a" {
+		t.Fatalf("legacy route after default removal: status %d archive %q, want 200 from %q",
+			status, hdr.Get("X-Archive-Name"), "a")
+	}
+	for _, name := range []string{"a", "c"} {
+		if err := cat.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if def := cat.DefaultName(); def != "" {
+		t.Fatalf("DefaultName of empty catalog = %q, want \"\"", def)
+	}
+	if err := cat.Add(ArchiveSpec{Name: "late", Open: open}); err != nil {
+		t.Fatal(err)
+	}
+	if def := cat.DefaultName(); def != "late" {
+		t.Fatalf("Add after emptying did not re-elect a default: %q", def)
+	}
+	if status, _, hdr := fetch(t, ts.Client(), ts.URL+"/v1/chunks/0"); status != http.StatusOK ||
+		hdr.Get("X-Archive-Name") != "late" {
+		t.Fatalf("legacy route after re-election: status %d archive %q", status, hdr.Get("X-Archive-Name"))
+	}
+}
+
+// TestCatalogRecreatedNameGetsFreshCacheSpace pins the stale-bytes guard
+// across Remove/Add: generations are catalog-global, so a tenant recreated
+// under the same name (a rescan replacing a .vacs file) can never name a
+// cache space any earlier open of that name used — a stale load landing
+// after Remove's purge repopulates a namespace nobody reads anymore.
+func TestCatalogRecreatedNameGetsFreshCacheSpace(t *testing.T) {
+	data := buildArchiveBytes(t, 1)
+	spec := ArchiveSpec{Name: "n", Open: func() (store.Backend, error) { return store.NewMemBackend(data), nil }}
+	cat, err := NewCatalog([]ArchiveSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	_, _, space1, release, err := cat.acquire("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if err := cat.Remove("n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(spec); err != nil {
+		t.Fatal(err)
+	}
+	_, _, space2, release, err := cat.acquire("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if space1 == space2 {
+		t.Fatalf("recreated tenant reuses cache space %q of the removed one", space1)
+	}
+}
+
+// TestCatalogListingRacesLifecycle is the lock-order regression canary:
+// GET /v1/archives reads tenant open-state while chunk requests lazily
+// open archives, the idle sweeper closes them, and membership churns via
+// Add/Remove. With the old ordering (handleArchives nesting t.mu inside
+// c.mu while open/close bookkeeping took c.mu under t.mu) this deadlocked;
+// now it must drain. Run with -race for the full effect.
+func TestCatalogListingRacesLifecycle(t *testing.T) {
+	data := buildArchiveBytes(t, 1)
+	open := func() (store.Backend, error) { return store.NewMemBackend(data), nil }
+	cat, err := NewCatalog([]ArchiveSpec{
+		{Name: "a", Open: open},
+		{Name: "b", Open: open},
+	}, WithIdleTimeout(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	ts := httptest.NewServer(cat.Handler())
+	defer ts.Close()
+
+	// Drain responses without t.Fatal: these run off the test goroutine,
+	// and the property under test is only "nothing wedges".
+	get := func(url string) {
+		resp, err := ts.Client().Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch w {
+				case 0:
+					get(ts.URL + "/v1/archives")
+				case 1:
+					get(fmt.Sprintf("%s/v1/archives/%s/chunks/0", ts.URL, []string{"a", "b"}[i%2]))
+				case 2:
+					cat.CloseIdle(time.Now().Add(time.Hour))
+				case 3:
+					name := fmt.Sprintf("churn%d", i%3)
+					if err := cat.Add(ArchiveSpec{Name: name, Open: open}); err == nil {
+						cat.Remove(name)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // TestCatalogOpenFailure pins the unreachable-medium contract: a spec whose

@@ -200,7 +200,7 @@ func NewCatalog(specs []ArchiveSpec, opts ...ServeOption) (*Catalog, error) {
 func WithIdleTimeout(d time.Duration) ServeOption { return serve.WithIdleTimeout(d) }
 
 // WithCacheBytes bounds the server's decoded-chunk cache by rendered
-// output size; n <= 0 selects the 256 MiB default.
+// output size; n <= 0 selects the 64 MiB default.
 func WithCacheBytes(n int64) ServeOption { return serve.WithCacheBytes(n) }
 
 // WithRequestTimeout bounds one server request end to end, decode
