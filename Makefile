@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-smoke bench-parallel bench-stream serve-smoke chaos-smoke fmt vet lint
+.PHONY: check build test race bench bench-smoke bench-serve-smoke bench-json bench-parallel bench-stream serve-smoke chaos-smoke fmt vet lint
 
 # check is the full verification gate: vet, lint, build, race-enabled tests,
 # a one-iteration compile-and-run pass over every benchmark so the perf
 # harness cannot rot, and end-to-end smokes of the chunk server (clean and
 # under injected faults). Tests run shuffled so inter-test ordering
 # dependencies cannot hide.
-check: vet lint build race bench-smoke serve-smoke chaos-smoke
+check: vet lint build race bench-smoke bench-serve-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,19 @@ serve-smoke:
 # degraded (X-Videoapp-Degraded + serve_chunk_degraded) instead of errors.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# bench-serve-smoke runs the serve-path benchmarks — hot/cold chunk, the
+# contended parallel path, and the prefetch-on/off sequential cold scan —
+# at 100 iterations each, so the serving benches (and the readahead path
+# they exercise) cannot silently rot. results/serve_bench.md and
+# BENCH_serve.json (scripts/bench_json.sh) hold the committed numbers.
+bench-serve-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkServe|BenchmarkArchiveReadChunk' -benchtime=100x -benchmem ./internal/serve
+
+# bench-json runs the serve benchmarks at full budget and snapshots the
+# machine-readable results into BENCH_serve.json.
+bench-json:
+	./scripts/bench_json.sh
 
 # bench-smoke compiles and runs every benchmark in the repo exactly once —
 # a regression gate for the perf harness itself, cheap enough for check/CI.

@@ -33,9 +33,10 @@
 //
 // serves the archive index on /v1/archive, decoded chunk frames (y4m) on
 // /v1/chunks/{i}, chunk metadata on /v1/chunks/{i}/meta and an
-// observability snapshot on /metrics, with a decoded-chunk LRU cache
-// (-cache-mb) and per-request timeouts (-req-timeout). Ctrl-C drains
-// in-flight connections before exiting.
+// observability snapshot on /metrics, with a sharded decoded-chunk LRU
+// cache (-cache-mb, -cache-shards), sequential readahead (-prefetch) and
+// per-request timeouts (-req-timeout). Ctrl-C drains in-flight
+// connections before exiting.
 //
 // With -archive-dir the serve command becomes a multi-archive catalog:
 //
@@ -104,6 +105,8 @@ type options struct {
 	archiveDir string
 	addr       string
 	cacheMB    int
+	cacheShard int
+	prefetch   int
 	reqTimeout time.Duration
 	idleTime   time.Duration
 
@@ -156,6 +159,8 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.StringVar(&o.archiveDir, "archive-dir", "", "serve: directory of *.vacs archives to serve as a catalog (SIGHUP rescans)")
 	fs.StringVar(&o.addr, "addr", ":8080", "serve: listen address")
 	fs.IntVar(&o.cacheMB, "cache-mb", 64, "serve: decoded-chunk cache budget in MiB")
+	fs.IntVar(&o.cacheShard, "cache-shards", 0, "serve: cache lock shards, rounded up to a power of two (0 = auto: max(8, GOMAXPROCS))")
+	fs.IntVar(&o.prefetch, "prefetch", 2, "serve: sequential readahead depth in chunks (0 disables)")
 	fs.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "serve: per-request timeout, decode included")
 	fs.DurationVar(&o.idleTime, "idle-timeout", 0, "serve -archive-dir: close archives unused this long (0 = never)")
 	fs.StringVar(&o.faultProfile, "fault-profile", "", "inject deterministic faults into archive reads: \"seed=N,transient=P,corrupt=P,short=P,latency=D\"")
@@ -302,6 +307,12 @@ func (o options) validate(cmd string) error {
 	}
 	if o.cacheMB < 1 {
 		return fmt.Errorf("-cache-mb %d must be >= 1", o.cacheMB)
+	}
+	if o.cacheShard < 0 {
+		return fmt.Errorf("-cache-shards %d must be >= 0", o.cacheShard)
+	}
+	if o.prefetch < 0 {
+		return fmt.Errorf("-prefetch %d must be >= 0", o.prefetch)
 	}
 	if o.reqTimeout <= 0 {
 		return fmt.Errorf("-req-timeout %v must be positive", o.reqTimeout)
@@ -754,6 +765,10 @@ func (o options) serveOptions() []videoapp.ServeOption {
 		videoapp.WithServeWorkers(o.workers),
 		videoapp.WithRequestTimeout(o.reqTimeout),
 		videoapp.WithFaultPolicy(o.faultPolicy()),
+		videoapp.WithPrefetch(o.prefetch),
+	}
+	if o.cacheShard != 0 {
+		opts = append(opts, videoapp.WithCacheShards(o.cacheShard))
 	}
 	if o.trace != nil {
 		opts = append(opts, videoapp.WithServeObserver(o.trace))

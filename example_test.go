@@ -67,7 +67,8 @@ func Example_serve() {
 	}
 
 	a, _ := videoapp.OpenArchive(bytes.NewReader(archive.Bytes()))
-	srv := videoapp.NewChunkServer(a)
+	// Readahead off so the only decode on the books is the stampede's own.
+	srv := videoapp.NewChunkServer(a, videoapp.WithPrefetch(0))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -1,5 +1,5 @@
-// Package cache is a sized LRU cache with singleflight loading, the
-// building block of the serve layer's decoded-chunk cache. It has no
+// Package cache is a sharded, sized LRU cache with singleflight loading,
+// the building block of the serve layer's decoded-chunk cache. It has no
 // dependencies beyond the standard library.
 //
 // The cache is keyed, generic, and bounded by total cost rather than entry
@@ -9,32 +9,67 @@
 // key — under a stampede of N readers for a cold key, the loader runs
 // exactly once and all N share its result — which is what keeps a hot chunk
 // from being decoded N times when N clients request it at once.
+//
+// # Sharding
+//
+// A cache is split into a power-of-two number of shards, each with its own
+// mutex, LRU list, and flight table, keyed by a seeded hash of the key.
+// Concurrent lookups of different keys therefore contend only 1/N of the
+// time, which is what makes the hot serve path scale across cores. The
+// cost budget is divided across the shards (so the global budget is always
+// respected: the per-shard budgets sum to exactly the configured maximum),
+// and eviction is per-shard LRU — an entry can only displace entries of
+// its own shard, which approximates global LRU closely at serving cache
+// sizes while never taking more than one lock. New builds the single-shard
+// (strict global LRU) cache; NewSharded selects the shard count, with
+// DefaultShards as the serving default.
 package cache
 
 import (
 	"container/list"
 	"context"
+	"hash/maphash"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Cache is a cost-bounded LRU map with request-coalescing loads. The zero
-// value is not usable; construct with New. All methods are safe for
-// concurrent use.
+// Cache is a cost-bounded sharded LRU map with request-coalescing loads.
+// The zero value is not usable; construct with New or NewSharded. All
+// methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
+	cost   func(V) int64
+	hash   func(maphash.Seed, K) uint64
+	seed   maphash.Seed
+	mask   uint64
+	shards []shard[K, V]
+}
+
+// shard is one independently locked slice of the cache: its own mutex,
+// entry map, LRU list, flight table, cost budget, and counters. The pad
+// keeps neighbouring shards' hot fields off one another's cache lines.
+type shard[K comparable, V any] struct {
 	maxCost int64
-	cost    func(V) int64
 
 	mu      sync.Mutex
 	entries map[K]*list.Element
 	order   *list.List // front = most recently used
-	total   int64
 	flights map[K]*flight[V]
+
+	// total and count mirror the resident cost and entry count. They are
+	// only mutated under mu but read atomically, so Stats/Len/Cost never
+	// take a shard lock — the serve path publishes cache gauges per
+	// request, and that must not serialize against lookups.
+	total atomic.Int64
+	count atomic.Int64
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	loads     atomic.Int64
 	evictions atomic.Int64
+
+	_ [32]byte
 }
 
 // entry is one resident cache cell.
@@ -52,136 +87,233 @@ type flight[V any] struct {
 	err  error
 }
 
-// New returns a cache bounded by maxCost, with each value charged by cost.
-// A nil cost charges every entry 1, making maxCost an entry count. A
-// maxCost <= 0 disables residency entirely — GetOrLoad still coalesces
-// concurrent loads, but nothing is retained.
+// DefaultShards is the shard count NewSharded selects when asked for 0 or
+// fewer shards: max(8, GOMAXPROCS) rounded up to a power of two. Eight is
+// enough to keep accidental hash collisions from serializing a small
+// machine; larger machines get one shard per scheduler thread.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return ceilPow2(n)
+}
+
+// ceilPow2 rounds n up to the nearest power of two (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// New returns a single-shard cache bounded by maxCost, with each value
+// charged by cost: the strict-global-LRU building block (one mutex, exact
+// recency order). Serving paths that want multicore scaling should use
+// NewSharded. A nil cost charges every entry 1, making maxCost an entry
+// count. A maxCost <= 0 disables residency entirely — GetOrLoad still
+// coalesces concurrent loads, but nothing is retained.
 func New[K comparable, V any](maxCost int64, cost func(V) int64) *Cache[K, V] {
+	return NewSharded[K, V](maxCost, 1, cost)
+}
+
+// NewSharded returns a cache of nshards power-of-two shards (values round
+// up; nshards <= 0 selects DefaultShards) bounded by maxCost in total. The
+// budget is split evenly across shards — the per-shard budgets sum to
+// exactly maxCost, so the global bound holds under any key distribution —
+// which also means a single value costing more than maxCost/nshards is not
+// retained. Cost and maxCost semantics otherwise match New.
+func NewSharded[K comparable, V any](maxCost int64, nshards int, cost func(V) int64) *Cache[K, V] {
+	return NewShardedHash[K, V](maxCost, nshards, cost, nil)
+}
+
+// NewShardedHash is NewSharded with a caller-provided shard hash. A nil
+// hash selects maphash.Comparable, which is correct for every comparable
+// key but heap-escapes keys whose type contains pointers (strings, say) on
+// each call; hot paths with such keys should pass a hash built from the
+// per-field maphash primitives instead (see KeyedHash). The hash only
+// picks the shard — it need not be collision-free, just well distributed.
+func NewShardedHash[K comparable, V any](maxCost int64, nshards int, cost func(V) int64, hash func(maphash.Seed, K) uint64) *Cache[K, V] {
 	if cost == nil {
 		cost = func(V) int64 { return 1 }
 	}
-	return &Cache[K, V]{
-		maxCost: maxCost,
-		cost:    cost,
-		entries: map[K]*list.Element{},
-		order:   list.New(),
-		flights: map[K]*flight[V]{},
+	if hash == nil {
+		hash = func(seed maphash.Seed, k K) uint64 { return maphash.Comparable(seed, k) }
 	}
+	if nshards <= 0 {
+		nshards = DefaultShards()
+	}
+	nshards = ceilPow2(nshards)
+	c := &Cache[K, V]{
+		cost:   cost,
+		hash:   hash,
+		seed:   maphash.MakeSeed(),
+		mask:   uint64(nshards - 1),
+		shards: make([]shard[K, V], nshards),
+	}
+	base, rem := int64(0), int64(0)
+	if maxCost > 0 {
+		base = maxCost / int64(nshards)
+		rem = maxCost % int64(nshards)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.maxCost = base
+		if int64(i) < rem {
+			s.maxCost++
+		}
+		s.entries = map[K]*list.Element{}
+		s.order = list.New()
+		s.flights = map[K]*flight[V]{}
+	}
+	return c
+}
+
+// Shards returns the cache's shard count.
+func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+
+// shard returns the shard owning key.
+func (c *Cache[K, V]) shard(key K) *shard[K, V] {
+	if c.mask == 0 {
+		return &c.shards[0]
+	}
+	return &c.shards[c.hash(c.seed, key)&c.mask]
 }
 
 // Get returns the cached value for key, marking it most recently used.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits.Add(1)
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits.Add(1)
 		return el.Value.(*entry[K, V]).val, true
 	}
-	c.misses.Add(1)
+	s.misses.Add(1)
 	var zero V
 	return zero, false
 }
 
-// Add inserts or replaces the value for key and evicts LRU entries until
-// the total cost fits the budget. A value whose own cost exceeds the whole
-// budget is not retained (it would only evict everything else and then
-// miss anyway).
-func (c *Cache[K, V]) Add(key K, val V) {
-	cost := c.cost(val)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.addLocked(key, val, cost)
+// Contains reports whether key is resident, without touching the recency
+// order or the hit/miss counters — the prefetcher's "already warm?" probe.
+func (c *Cache[K, V]) Contains(key K) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
 }
 
-func (c *Cache[K, V]) addLocked(key K, val V, cost int64) {
-	if cost > c.maxCost {
+// Add inserts or replaces the value for key and evicts LRU entries of its
+// shard until the shard's cost fits its budget. A value whose own cost
+// exceeds the shard budget is not retained (it would only evict everything
+// else and then miss anyway).
+func (c *Cache[K, V]) Add(key K, val V) {
+	cost := c.cost(val)
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(key, val, cost)
+}
+
+func (s *shard[K, V]) addLocked(key K, val V, cost int64) {
+	if cost > s.maxCost {
 		return
 	}
-	if el, ok := c.entries[key]; ok {
+	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*entry[K, V])
-		c.total += cost - e.cost
+		s.total.Add(cost - e.cost)
 		e.val, e.cost = val, cost
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 	} else {
-		c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
-		c.total += cost
+		s.entries[key] = s.order.PushFront(&entry[K, V]{key: key, val: val, cost: cost})
+		s.total.Add(cost)
+		s.count.Add(1)
 	}
-	for c.total > c.maxCost {
-		back := c.order.Back()
+	for s.total.Load() > s.maxCost {
+		back := s.order.Back()
 		if back == nil {
 			break
 		}
-		c.removeLocked(back)
-		c.evictions.Add(1)
+		s.removeLocked(back)
+		s.evictions.Add(1)
 	}
 }
 
-func (c *Cache[K, V]) removeLocked(el *list.Element) {
+func (s *shard[K, V]) removeLocked(el *list.Element) {
 	e := el.Value.(*entry[K, V])
-	c.order.Remove(el)
-	delete(c.entries, e.key)
-	c.total -= e.cost
+	s.order.Remove(el)
+	delete(s.entries, e.key)
+	s.total.Add(-e.cost)
+	s.count.Add(-1)
 }
 
 // Remove drops key from the cache, reporting whether it was resident.
 func (c *Cache[K, V]) Remove(key K) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if ok {
-		c.removeLocked(el)
+		s.removeLocked(el)
 	}
 	return ok
 }
 
-// GetOrLoad returns the cached value for key, or runs load to produce it.
-// Concurrent calls for the same key share a single load (singleflight):
-// exactly one caller's load function runs, the rest block until it
-// finishes and receive the same value or error. Successful loads are added
-// to the cache; failed loads are not, so a later call retries.
+// GetOrLoad returns the cached value for key, or runs load to produce it,
+// reporting whether the value was resident at lookup (the hit/miss verdict
+// of this one request — callers must not re-probe with Get, which would
+// both double-count and take the shard lock twice). Concurrent calls for
+// the same key share a single load (singleflight): exactly one caller's
+// load function runs, the rest block until it finishes and receive the
+// same value or error. Successful loads are added to the cache; failed
+// loads are not, so a later call retries.
 //
 // The load function receives a context detached from ctx's cancellation:
 // the result is shared by every waiter (and the cache), so one caller
 // hanging up must not poison it for the others. A caller whose own ctx
 // ends while waiting returns ctx.Err() immediately; the load keeps running
 // and its result is still cached for future readers.
-func (c *Cache[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits.Add(1)
+func (c *Cache[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, bool, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits.Add(1)
 		v := el.Value.(*entry[K, V]).val
-		c.mu.Unlock()
-		return v, nil
+		s.mu.Unlock()
+		return v, true, nil
 	}
-	c.misses.Add(1)
-	if f, ok := c.flights[key]; ok {
+	s.misses.Add(1)
+	if f, ok := s.flights[key]; ok {
 		// Someone is already loading this key; wait on their flight.
-		c.mu.Unlock()
-		return c.wait(ctx, f)
+		s.mu.Unlock()
+		v, err := wait(ctx, f)
+		return v, false, err
 	}
 	f := &flight[V]{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
+	s.flights[key] = f
+	s.mu.Unlock()
 
-	c.loads.Add(1)
+	s.loads.Add(1)
 	go func() {
 		f.val, f.err = load(context.WithoutCancel(ctx))
-		c.mu.Lock()
-		delete(c.flights, key)
+		s.mu.Lock()
+		delete(s.flights, key)
 		if f.err == nil {
-			c.addLocked(key, f.val, c.cost(f.val))
+			s.addLocked(key, f.val, c.cost(f.val))
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		close(f.done)
 	}()
-	return c.wait(ctx, f)
+	v, err := wait(ctx, f)
+	return v, false, err
 }
 
 // wait blocks on a flight until it completes or the caller's own context
 // ends, whichever comes first.
-func (c *Cache[K, V]) wait(ctx context.Context, f *flight[V]) (V, error) {
+func wait[V any](ctx context.Context, f *flight[V]) (V, error) {
 	select {
 	case <-f.done:
 		return f.val, f.err
@@ -191,21 +323,28 @@ func (c *Cache[K, V]) wait(ctx context.Context, f *flight[V]) (V, error) {
 	}
 }
 
-// Len returns the number of resident entries.
+// Len returns the number of resident entries across all shards. It takes
+// no locks; see Stats.
 func (c *Cache[K, V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := int64(0)
+	for i := range c.shards {
+		n += c.shards[i].count.Load()
+	}
+	return int(n)
 }
 
-// Cost returns the total cost of resident entries.
+// Cost returns the total cost of resident entries across all shards. It
+// takes no locks; see Stats.
 func (c *Cache[K, V]) Cost() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].total.Load()
+	}
+	return total
 }
 
-// Stats is a point-in-time copy of the cache's counters.
+// Stats is a point-in-time copy of the cache's counters, aggregated across
+// shards (see ShardStats for the per-shard breakdown).
 type Stats struct {
 	// Hits and Misses count Get/GetOrLoad lookups by residency at lookup
 	// time (a coalesced waiter counts as a miss — the value was not
@@ -229,17 +368,42 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Stats returns the current counter values.
+// add folds o into s.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Loads += o.Loads
+	s.Evictions += o.Evictions
+	s.Len += o.Len
+	s.Cost += o.Cost
+}
+
+// Stats returns the current counter values aggregated across all shards.
 func (c *Cache[K, V]) Stats() Stats {
-	c.mu.Lock()
-	n, total := len(c.entries), c.total
-	c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Loads:     c.loads.Load(),
-		Evictions: c.evictions.Load(),
-		Len:       n,
-		Cost:      total,
+	var agg Stats
+	for _, s := range c.ShardStats() {
+		agg.add(s)
 	}
+	return agg
+}
+
+// ShardStats returns each shard's counters, indexed by shard. Reads are
+// lock-free: each field is an atomic snapshot, so a slice taken during
+// concurrent mutation is consistent per field, not across fields. The sum
+// of the returned slice is exactly Stats() at the same instant of each
+// shard's snapshot.
+func (c *Cache[K, V]) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		out[i] = Stats{
+			Hits:      s.hits.Load(),
+			Misses:    s.misses.Load(),
+			Loads:     s.loads.Load(),
+			Evictions: s.evictions.Load(),
+			Len:       int(s.count.Load()),
+			Cost:      s.total.Load(),
+		}
+	}
+	return out
 }

@@ -64,7 +64,7 @@ func TestGetOrLoadCachesSuccess(t *testing.T) {
 	calls := 0
 	load := func(context.Context) (int, error) { calls++; return 42, nil }
 	for i := 0; i < 3; i++ {
-		v, err := c.GetOrLoad(context.Background(), "k", load)
+		v, _, err := c.GetOrLoad(context.Background(), "k", load)
 		if err != nil || v != 42 {
 			t.Fatalf("GetOrLoad = %d, %v", v, err)
 		}
@@ -80,7 +80,7 @@ func TestGetOrLoadDoesNotCacheErrors(t *testing.T) {
 	calls := 0
 	load := func(context.Context) (int, error) { calls++; return 0, boom }
 	for i := 0; i < 2; i++ {
-		if _, err := c.GetOrLoad(context.Background(), "k", load); !errors.Is(err, boom) {
+		if _, _, err := c.GetOrLoad(context.Background(), "k", load); !errors.Is(err, boom) {
 			t.Fatalf("want boom, got %v", err)
 		}
 	}
@@ -108,7 +108,7 @@ func TestSingleflightStampede(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.GetOrLoad(context.Background(), "hot", load)
+			v, _, err := c.GetOrLoad(context.Background(), "hot", load)
 			if err != nil {
 				errs <- err
 				return
@@ -146,7 +146,7 @@ func TestWaiterCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.GetOrLoad(ctx, "k", load)
+		_, _, err := c.GetOrLoad(ctx, "k", load)
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)
@@ -161,7 +161,7 @@ func TestWaiterCancellation(t *testing.T) {
 	}
 	close(release)
 	// The detached load still completes and caches its value.
-	v, err := c.GetOrLoad(context.Background(), "k", func(context.Context) (int, error) {
+	v, _, err := c.GetOrLoad(context.Background(), "k", func(context.Context) (int, error) {
 		return 0, errors.New("must not reload")
 	})
 	if err != nil || v != 9 {

@@ -1,6 +1,9 @@
 package cache
 
-import "context"
+import (
+	"context"
+	"hash/maphash"
+)
 
 // Keyed is a namespaced cache key: the same inner key in two spaces is two
 // distinct entries. It is how one cost-bounded cache is shared by many
@@ -13,6 +16,25 @@ type Keyed[K comparable] struct {
 	Space string
 	// Key is the inner key within the space.
 	Key K
+}
+
+// KeyedHash returns a shard hash for Keyed[K] keys that hashes the space
+// string with maphash.String and folds in the inner key separately.
+// Unlike maphash.Comparable over the whole struct — whose string field
+// makes every call copy the key to the heap — it allocates nothing, which
+// is what the serve path's per-request lookups want. The inner key's own
+// type must still be pointer-free (int chunk indexes are) for the
+// Comparable call on it to stay allocation-free.
+func KeyedHash[K comparable]() func(maphash.Seed, Keyed[K]) uint64 {
+	return func(seed maphash.Seed, k Keyed[K]) uint64 {
+		h := maphash.String(seed, k.Space) ^ maphash.Comparable(seed, k.Key)
+		// Finalizing mix: shard selection uses the low bits, so spread the
+		// xor-combined entropy through them (splitmix64 finalizer).
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		return h
+	}
 }
 
 // Space is a view of a shared cache scoped to one namespace. All views over
@@ -37,6 +59,12 @@ func (s Space[K, V]) Get(key K) (V, bool) {
 	return s.c.Get(Keyed[K]{Space: s.name, Key: key})
 }
 
+// Contains reports whether key is resident within the space without
+// touching the recency order or the hit/miss counters.
+func (s Space[K, V]) Contains(key K) bool {
+	return s.c.Contains(Keyed[K]{Space: s.name, Key: key})
+}
+
 // Add inserts or replaces the value for key within the space, evicting the
 // globally least-recently-used entries (any space) to fit the shared budget.
 func (s Space[K, V]) Add(key K, val V) {
@@ -50,8 +78,9 @@ func (s Space[K, V]) Remove(key K) bool {
 
 // GetOrLoad is Cache.GetOrLoad scoped to the space: singleflight is per
 // (space, key), so the same chunk index loading in two spaces runs two
-// loads, while a stampede on one (space, key) still runs exactly one.
-func (s Space[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, error) {
+// loads, while a stampede on one (space, key) still runs exactly one. The
+// middle return reports whether the value was resident at lookup.
+func (s Space[K, V]) GetOrLoad(ctx context.Context, key K, load func(context.Context) (V, error)) (V, bool, error) {
 	return s.c.GetOrLoad(ctx, Keyed[K]{Space: s.name, Key: key}, load)
 }
 
@@ -66,17 +95,20 @@ func (s Space[K, V]) Purge() int {
 }
 
 // RemoveIf drops every resident entry whose key matches pred, returning the
-// number removed. It holds the cache lock for the scan: pred must be fast
-// and must not touch the cache.
+// number removed. It scans shard by shard, holding each shard's lock for
+// its slice of the scan: pred must be fast and must not touch the cache.
 func (c *Cache[K, V]) RemoveIf(pred func(K) bool) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
-	for key, el := range c.entries {
-		if pred(key) {
-			c.removeLocked(el)
-			removed++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.entries {
+			if pred(key) {
+				s.removeLocked(el)
+				removed++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return removed
 }

@@ -90,7 +90,7 @@ func TestConcurrentGetOrLoadAcrossSpaces(t *testing.T) {
 				key := (g * 7 % keys) ^ (i%keys)%keys
 				s := spaces[si]
 				want := fmt.Sprintf("%s-%d", s.Name(), key)
-				got, err := s.GetOrLoad(context.Background(), key, func(context.Context) (string, error) {
+				got, _, err := s.GetOrLoad(context.Background(), key, func(context.Context) (string, error) {
 					loadsPer[si*keys+key].Add(1)
 					return want, nil
 				})
@@ -135,7 +135,7 @@ func TestConcurrentSpacesUnderEviction(t *testing.T) {
 				s := spaces[(g+i)%2]
 				key := i % 16
 				want := fmt.Sprintf("%s-%d", s.Name(), key)
-				got, err := s.GetOrLoad(context.Background(), key, func(context.Context) (string, error) {
+				got, _, err := s.GetOrLoad(context.Background(), key, func(context.Context) (string, error) {
 					return want, nil
 				})
 				if err != nil || got != want {

@@ -99,6 +99,17 @@ const (
 	// reconstruction instead of a 500. Every such response also carries
 	// the X-Videoapp-Degraded header.
 	CtrServeDegraded = "serve_chunk_degraded"
+	// CtrServePrefetchIssued counts readahead loads the prefetcher
+	// actually started (scheduled, found absent, and issued a decode),
+	// labeled by archive.
+	CtrServePrefetchIssued = "serve_prefetch_issued"
+	// CtrServePrefetchUseful counts prefetched chunks later served to a
+	// client from the cache — readahead that hid a decode.
+	CtrServePrefetchUseful = "serve_prefetch_useful"
+	// CtrServePrefetchWasted counts prefetched chunks that never reached a
+	// client: the load failed, or the entry was evicted or purged before
+	// any request touched it.
+	CtrServePrefetchWasted = "serve_prefetch_wasted"
 	// CtrServeShed counts chunk requests rejected by the open circuit
 	// breaker with 503 + Retry-After.
 	CtrServeShed = "serve_breaker_shed"
@@ -128,6 +139,9 @@ const (
 	GaugeServeCacheHitRate = "serve_cache_hit_rate"
 	// GaugeServeCacheBytes is the resident cost of the decoded-chunk cache.
 	GaugeServeCacheBytes = "serve_cache_bytes"
+	// GaugeServePrefetchInFlight is the number of readahead loads the
+	// prefetcher is executing right now.
+	GaugeServePrefetchInFlight = "serve_prefetch_in_flight"
 	// GaugeCatalogOpenArchives is the number of archives a serving catalog
 	// currently holds open (lazily-opened tenants that have not been
 	// idle-closed, plus any statically attached archive).

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // BenchmarkServeChunk measures one GET /v1/chunks/{i} through the full
@@ -44,6 +45,58 @@ func BenchmarkServeChunk(b *testing.B) {
 	if cs := s.CacheStats(); cs.Loads < 1 {
 		b.Fatalf("cache stats %+v", cs)
 	}
+}
+
+// drainPrefetch waits for the catalog's readahead queue and in-flight
+// loads to go quiet, so a benchmark can evict the cache without racing a
+// background insert.
+func drainPrefetch(c *Catalog) {
+	p := c.prefetch
+	if p == nil {
+		return
+	}
+	for len(p.jobs) > 0 || p.inFlight.Load() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkServeSequentialCold is the readahead workload: one client
+// reading an 8-chunk archive front to back with ~2 ms of think time
+// between chunks (playback pacing), starting each scan with a cold cache.
+// One op is the whole scan. With prefetch on, the i+1 decode overlaps the
+// client's think time instead of sitting on the next request's critical
+// path; with prefetch off, every chunk pays its decode in-line.
+func BenchmarkServeSequentialCold(b *testing.B) {
+	const chunks = 8
+	const think = 2 * time.Millisecond
+	run := func(b *testing.B, options ...Option) {
+		a := buildArchive(b, chunks)
+		s := New(a, options...)
+		defer s.Catalog().Close()
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			b.StopTimer()
+			drainPrefetch(s.cat)
+			for i := 0; i < chunks; i++ {
+				s.cat.evictCached(DefaultArchiveName, i)
+			}
+			b.StartTimer()
+			for i := 0; i < chunks; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/chunks/%d", i), nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("chunk %d: status %d", i, rec.Code)
+				}
+				if i < chunks-1 {
+					time.Sleep(think)
+				}
+			}
+		}
+	}
+	b.Run("prefetch", func(b *testing.B) { run(b) })
+	b.Run("noprefetch", func(b *testing.B) { run(b, WithPrefetch(0)) })
 }
 
 // BenchmarkArchiveReadChunk measures the raw lock-free archive read that

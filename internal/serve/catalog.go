@@ -56,6 +56,7 @@ type Catalog struct {
 	opts      Options
 	policySet bool
 	cache     *cache.Cache[cache.Keyed[int], chunkPayload]
+	prefetch  *prefetcher // nil when readahead is disabled
 	metrics   *obs.Metrics
 	observer  obs.Observer
 	inFlight  atomic.Int64
@@ -68,7 +69,18 @@ type Catalog struct {
 	open    atomic.Int64  // archives currently open, mirrored to the gauge
 	gaugeMu sync.Mutex    // keeps open-gauge publishes in delta order
 	gens    atomic.Uint64 // catalog-global open generation; names cache spaces
+
+	// cacheGaugeTick counts chunk responses to rate-limit cache-gauge
+	// refreshes from that path: gauges are point-in-time samples, so
+	// refreshing them on every request only adds two global metrics-mutex
+	// writes to the hot path. The metrics endpoint still refreshes
+	// unconditionally before snapshotting, so /metrics is always exact.
+	cacheGaugeTick atomic.Uint64
 }
+
+// cacheGaugeEvery is how many chunk responses pass between chunk-path
+// refreshes of the cache gauges (a power of two, tested with a mask).
+const cacheGaugeEvery = 64
 
 // chunkPayload is one cached chunk response: the rendered y4m bytes plus
 // the degradation verdict of the read that produced them, so cache hits
@@ -134,9 +146,9 @@ func newCatalog(options []Option) *Catalog {
 	c := &Catalog{
 		opts:      opts,
 		policySet: cfg.policySet,
-		cache: cache.New[cache.Keyed[int], chunkPayload](opts.CacheBytes, func(p chunkPayload) int64 {
+		cache: cache.NewShardedHash[cache.Keyed[int], chunkPayload](opts.CacheBytes, opts.CacheShards, func(p chunkPayload) int64 {
 			return int64(len(p.data))
-		}),
+		}, cache.KeyedHash[int]()),
 		metrics: obs.NewMetrics(),
 		tenants: map[string]*tenant{},
 	}
@@ -153,6 +165,9 @@ func newCatalog(options []Option) *Catalog {
 	c.mux.HandleFunc("GET /v1/archive", c.route("archive", c.asDefault(c.handleArchive)))
 	c.mux.HandleFunc("GET /v1/chunks/{index}", c.route("chunk", c.asDefault(c.handleChunk)))
 	c.mux.HandleFunc("GET /v1/chunks/{index}/meta", c.route("chunk_meta", c.asDefault(c.handleChunkMeta)))
+	if opts.PrefetchDepth > 0 {
+		c.prefetch = newPrefetcher(c, opts.PrefetchDepth)
+	}
 	return c
 }
 
@@ -251,6 +266,11 @@ func (c *Catalog) Remove(name string) error {
 	// Every generation of the tenant's cache space starts "name#".
 	prefix := name + "#"
 	c.cache.RemoveIf(func(k cache.Keyed[int]) bool { return strings.HasPrefix(k.Space, prefix) })
+	if c.prefetch != nil {
+		// Queued readahead jobs for the tenant die at execution time (the
+		// re-acquire finds it retired); the tracking table is swept now.
+		c.prefetch.purgeTenant(name)
+	}
 	return nil
 }
 
@@ -405,9 +425,14 @@ func (c *Catalog) CloseIdle(now time.Time) int {
 }
 
 // Close closes every archive the catalog opened (static tenants stay
-// untouched — their owners close them). The catalog remains usable;
-// subsequent requests reopen lazily.
+// untouched — their owners close them) and shuts the readahead prefetcher
+// down, cancelling its in-flight loads. The catalog remains usable for
+// foreground requests — subsequent requests reopen archives lazily — but
+// prefetching does not resume.
 func (c *Catalog) Close() error {
+	if c.prefetch != nil {
+		c.prefetch.close()
+	}
 	c.mu.Lock()
 	tenants := make([]*tenant, 0, len(c.tenants))
 	for _, t := range c.tenants {
@@ -607,14 +632,14 @@ func (c *Catalog) handleChunk(w http.ResponseWriter, r *http.Request, name strin
 		return err // 404 before paying a flight for an absent chunk
 	}
 	sp := cache.In(c.cache, space)
-	if _, hit := sp.Get(i); hit {
+	p, hit, err := sp.GetOrLoad(r.Context(), i, func(ctx context.Context) (chunkPayload, error) {
+		return c.materialize(ctx, t, a, i)
+	})
+	if hit {
 		c.observer.Counter(obs.CtrServeCacheHits, t.name, 1)
 	} else {
 		c.observer.Counter(obs.CtrServeCacheMisses, t.name, 1)
 	}
-	p, err := sp.GetOrLoad(r.Context(), i, func(ctx context.Context) (chunkPayload, error) {
-		return c.materialize(ctx, t, a, i)
-	})
 	if err != nil {
 		if errors.Is(err, store.ErrReadFailed) && t.breaker.failure(time.Now()) {
 			c.observer.Gauge(obs.GaugeServeBreakerOpen, t.name, 1)
@@ -626,9 +651,20 @@ func (c *Catalog) handleChunk(w http.ResponseWriter, r *http.Request, name strin
 		// breaker; refresh the gauge only on the transition.
 		c.observer.Gauge(obs.GaugeServeBreakerOpen, t.name, 0)
 	}
-	c.publishCacheGauges()
+	if c.prefetch != nil {
+		// Settle this chunk's readahead outcome, then warm the chunks a
+		// sequential reader asks for next. Both are non-blocking.
+		c.prefetch.claim(t.name, space, i, hit)
+		c.prefetch.schedule(t.name, space, i, a.NumChunks())
+	}
+	c.maybePublishCacheGauges()
 	w.Header().Set("Content-Type", "video/x-yuv4mpeg")
 	w.Header().Set("Content-Length", strconv.Itoa(len(p.data)))
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
 	w.Header().Set("X-Chunk-Index", strconv.Itoa(i))
 	w.Header().Set("X-Archive-Name", t.name)
 	if len(p.degraded) > 0 {
@@ -685,6 +721,17 @@ func (c *Catalog) publishCacheGauges() {
 	cs := c.cache.Stats()
 	c.observer.Gauge(obs.GaugeServeCacheHitRate, "", cs.HitRate())
 	c.observer.Gauge(obs.GaugeServeCacheBytes, "", float64(cs.Cost))
+}
+
+// maybePublishCacheGauges is the chunk-path variant: one refresh every
+// cacheGaugeEvery responses (the first response publishes, so a fresh
+// catalog's gauges exist immediately), costing the other responses a
+// single atomic increment instead of two metrics-mutex writes.
+func (c *Catalog) maybePublishCacheGauges() {
+	if c.cacheGaugeTick.Add(1)&(cacheGaugeEvery-1) != 1 {
+		return
+	}
+	c.publishCacheGauges()
 }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts down

@@ -185,8 +185,12 @@ func TestCatalogChaos(t *testing.T) {
 	// The concurrent run: 32 clients × 24 requests, archives interleaved,
 	// under a cache budget far below the working set so archives contend
 	// for (and evict each other from) the shared cache.
+	// One shard: the tiny budget must act as one global LRU (a chunk is
+	// bigger than a 1/8th shard slice) so cross-archive eviction stays
+	// observable. Readahead stays on — the chaos contract must hold with
+	// prefetch issuing background loads.
 	const budget = int64(96 << 10)
-	cat, err := NewCatalog(cc.specs(t, dir), WithFaultPolicy(cc.pol), WithCacheBytes(budget))
+	cat, err := NewCatalog(cc.specs(t, dir), WithFaultPolicy(cc.pol), WithCacheBytes(budget), WithCacheShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +303,7 @@ func TestCatalogIdleClose(t *testing.T) {
 	const idle = 50 * time.Millisecond
 	cat, err := NewCatalog([]ArchiveSpec{
 		{Name: "m", Open: func() (store.Backend, error) { return store.NewMemBackend(data), nil }},
-	}, WithIdleTimeout(idle))
+	}, WithIdleTimeout(idle), WithPrefetch(0)) // readahead off: decode count is pinned
 	if err != nil {
 		t.Fatal(err)
 	}

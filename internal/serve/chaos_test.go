@@ -214,7 +214,9 @@ func TestServeDegradedHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(a, WithFaultPolicy(chaosPolicy()))
+	// Readahead off: the test pins the exact decode count of the two
+	// foreground requests.
+	s := New(a, WithFaultPolicy(chaosPolicy()), WithPrefetch(0))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -13,11 +13,20 @@
 //     same way;
 //   - decoded chunks are rendered once into a cost-bounded LRU cache
 //     (internal/cache), sized in bytes of rendered y4m output and shared
-//     across every archive of a catalog: the budget and recency order are
-//     global, so a hot archive naturally displaces a cold one;
+//     across every archive of a catalog. The cache is lock-sharded
+//     (WithCacheShards): keys hash to independent shards, each with its
+//     own mutex, LRU order, and slice of the byte budget, so hot hits on
+//     different chunks never contend on one mutex;
 //   - cold-chunk decodes are coalesced (singleflight): a stampede of N
 //     clients on one uncached chunk performs a single archive read + decode
-//     and every client shares the bytes.
+//     and every client shares the bytes;
+//   - a sequential readahead prefetcher (WithPrefetch) rides the access
+//     pattern video playback produces: a request for chunk i warms chunks
+//     i+1..i+k in the background through the same singleflight cache
+//     namespace, so steady sequential readers find the next chunk already
+//     decoded. Prefetch never fires through an open circuit breaker or on
+//     a removed archive, and its issued/useful/wasted counters are
+//     published through obs.
 //
 // # Multi-archive catalogs
 //
@@ -106,6 +115,15 @@ type Options struct {
 	// entry costs roughly frames × 1.5 × W × H bytes. A catalog's cache is
 	// shared across all of its archives.
 	CacheBytes int64
+	// CacheShards is the decoded-chunk cache's lock-shard count, rounded up
+	// to a power of two. 0 selects cache.DefaultShards() (max(8, GOMAXPROCS)
+	// rounded up); negative forces a single shard — one global mutex and a
+	// strict global LRU order, the pre-sharding behavior.
+	CacheShards int
+	// PrefetchDepth is how many chunks past a requested index the readahead
+	// prefetcher warms (i+1..i+depth) through the shared cache. 0 selects
+	// the default of 2; negative disables prefetching.
+	PrefetchDepth int
 	// Workers bounds the decoder's frame parallelism per cold chunk;
 	// <= 0 selects GOMAXPROCS.
 	Workers int
@@ -137,6 +155,16 @@ func (o Options) withDefaults() Options {
 	if o.CacheBytes <= 0 {
 		o.CacheBytes = 64 << 20
 	}
+	if o.CacheShards == 0 {
+		o.CacheShards = cache.DefaultShards()
+	} else if o.CacheShards < 0 {
+		o.CacheShards = 1
+	}
+	if o.PrefetchDepth == 0 {
+		o.PrefetchDepth = 2
+	} else if o.PrefetchDepth < 0 {
+		o.PrefetchDepth = 0 // resolved: 0 means off from here on
+	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
@@ -160,6 +188,32 @@ type Option func(*config)
 // <= 0 selects the 64 MiB default.
 func WithCacheBytes(n int64) Option {
 	return func(c *config) { c.opts.CacheBytes = n }
+}
+
+// WithCacheShards sets the decoded-chunk cache's lock-shard count (rounded
+// up to a power of two). 0 (the default) selects max(8, GOMAXPROCS)
+// rounded up to a power of two; pass a negative value — or 1 — for a
+// single shard, which restores one global mutex and a strict global LRU
+// order at the cost of hot-path contention.
+func WithCacheShards(n int) Option {
+	return func(c *config) {
+		if n == 0 {
+			n = -1 // explicit 0 from callers means "one shard", not "auto"
+		}
+		c.opts.CacheShards = n
+	}
+}
+
+// WithPrefetch sets the sequential readahead depth: a request for chunk i
+// asynchronously warms chunks i+1..i+depth through the shared cache.
+// <= 0 disables prefetching; the default depth is 2.
+func WithPrefetch(depth int) Option {
+	return func(c *config) {
+		if depth <= 0 {
+			depth = -1 // resolved to "off" by withDefaults
+		}
+		c.opts.PrefetchDepth = depth
+	}
 }
 
 // WithWorkers bounds the decoder's frame parallelism per cold chunk;

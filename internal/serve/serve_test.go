@@ -237,8 +237,9 @@ func TestServeConcurrentRandomChunks(t *testing.T) {
 	for i := range want {
 		want[i] = wantChunkBody(t, a, i)
 	}
-	// Budget of ~1.5 chunks forces eviction churn under concurrency.
-	s := New(a, WithCacheBytes(int64(len(want[0]))*3/2))
+	// Budget of ~1.5 chunks forces eviction churn under concurrency; a
+	// single shard keeps the whole budget in one LRU so a chunk still fits.
+	s := New(a, WithCacheBytes(int64(len(want[0]))*3/2), WithCacheShards(1))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -279,7 +280,9 @@ func TestServeConcurrentRandomChunks(t *testing.T) {
 func TestCacheEvictionRefetches(t *testing.T) {
 	a := buildArchive(t, 2)
 	want0 := wantChunkBody(t, a, 0)
-	s := New(a, WithCacheBytes(int64(len(want0))+16)) // fits one chunk
+	// One shard so the budget fits exactly one chunk in one LRU; readahead
+	// off so the load count is exactly the three foreground requests.
+	s := New(a, WithCacheBytes(int64(len(want0))+16), WithCacheShards(1), WithPrefetch(0))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

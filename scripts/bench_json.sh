@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the serve-path benchmarks and emit machine-readable
+# results, so the serving layer's perf trajectory is tracked across PRs.
+#
+# The human-readable `go test -bench` output is echoed as it arrives; the
+# parsed results land in BENCH_serve.json (override with OUT=) as an array
+# of {name, ns_per_op, bytes_per_op, allocs_per_op}. BENCHTIME= overrides
+# the per-benchmark budget (default 1s; use e.g. 100x for a smoke run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+OUT=${OUT:-BENCH_serve.json}
+BENCHTIME=${BENCHTIME:-1s}
+
+raw=$($GO test -run='^$' -bench='BenchmarkServe|BenchmarkArchiveReadChunk' \
+    -benchtime="$BENCHTIME" -benchmem ./internal/serve)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+    name = $1; ns = ""; bop = "null"; aop = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, bop, aop
+}
+END { print "\n]" }
+' > "$OUT"
+echo "wrote $OUT"

@@ -59,9 +59,9 @@ type (
 	// Backend with deterministic fault injection.
 	Backend = store.Backend
 	// ServeOption configures a ChunkServer or Catalog at construction; see
-	// WithCacheBytes, WithRequestTimeout, WithServeWorkers,
-	// WithDrainTimeout, WithIdleTimeout, WithServeObserver and
-	// WithFaultPolicy.
+	// WithCacheBytes, WithCacheShards, WithPrefetch, WithRequestTimeout,
+	// WithServeWorkers, WithDrainTimeout, WithIdleTimeout,
+	// WithServeObserver and WithFaultPolicy.
 	ServeOption = serve.Option
 	// ArchiveOption configures a ChunkArchive at open time; see
 	// WithArchivePolicy and WithMirror.
@@ -202,6 +202,16 @@ func WithIdleTimeout(d time.Duration) ServeOption { return serve.WithIdleTimeout
 // WithCacheBytes bounds the server's decoded-chunk cache by rendered
 // output size; n <= 0 selects the 64 MiB default.
 func WithCacheBytes(n int64) ServeOption { return serve.WithCacheBytes(n) }
+
+// WithCacheShards sets the decoded-chunk cache's lock-shard count,
+// rounded up to a power of two; 0 (the default) picks max(8, GOMAXPROCS)
+// rounded up, and 1 (or a negative value) restores a single global LRU.
+func WithCacheShards(n int) ServeOption { return serve.WithCacheShards(n) }
+
+// WithPrefetch sets the server's sequential readahead depth: a request
+// for chunk i warms chunks i+1..i+depth in the background through the
+// decoded-chunk cache. <= 0 disables readahead; the default depth is 2.
+func WithPrefetch(depth int) ServeOption { return serve.WithPrefetch(depth) }
 
 // WithRequestTimeout bounds one server request end to end, decode
 // included; d <= 0 selects the 30s default.
