@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-smoke bench-serve-smoke bench-json bench-parallel bench-stream serve-smoke chaos-smoke fmt vet lint
+.PHONY: check build test race bench bench-smoke bench-serve-smoke bench-json bench-parallel bench-stream serve-smoke chaos-smoke fmt fmt-check vet lint
 
-# check is the full verification gate: vet, lint, build, race-enabled tests,
-# a one-iteration compile-and-run pass over every benchmark so the perf
+# check is the full verification gate: formatting, vet, lint (staticcheck +
+# the vetvideoapp invariant suite), build, race-enabled tests, a
+# one-iteration compile-and-run pass over every benchmark so the perf
 # harness cannot rot, and end-to-end smokes of the chunk server (clean and
 # under injected faults). Tests run shuffled so inter-test ordering
 # dependencies cannot hide.
-check: vet lint build race bench-smoke bench-serve-smoke serve-smoke chaos-smoke
+check: fmt-check vet lint build race bench-smoke bench-serve-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -15,10 +16,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs staticcheck at the version pinned in scripts/lint.sh: a binary
-# on PATH wins, otherwise the pinned module version is fetched via the
-# module proxy; offline machines warn and skip (CI has network and
-# enforces).
+# lint runs both gates via scripts/lint.sh: staticcheck at the pinned
+# version (a binary on PATH wins, otherwise the pinned module version via
+# the module proxy; offline machines warn and skip — CI has network and
+# enforces) and vetvideoapp, the project-specific invariant suite in
+# internal/analysis, which needs nothing beyond the go tool and always
+# runs. Run one gate alone with `./scripts/lint.sh staticcheck` or
+# `./scripts/lint.sh vetvideoapp`.
 lint:
 	./scripts/lint.sh
 
@@ -30,6 +34,11 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# fmt-check fails (listing the offenders) when any file is not
+# gofmt-formatted; `make fmt` rewrites them in place.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 
 # bench-parallel emits benchstat-friendly serial-vs-parallel numbers for
 # every concurrent pipeline stage:

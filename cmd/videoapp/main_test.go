@@ -147,6 +147,42 @@ func TestCLIValidation(t *testing.T) {
 			exit:   1,
 			stderr: "no *.vacs archives",
 		},
+		{
+			name:   "negative idle-timeout",
+			args:   []string{"-idle-timeout", "-1s", "-archive-dir", t.TempDir(), "serve"},
+			exit:   2,
+			stderr: "-idle-timeout",
+		},
+		{
+			name:   "nonpositive frames",
+			args:   []string{"-frames", "0", "presets"},
+			exit:   2,
+			stderr: "-frames",
+		},
+		{
+			name:   "nonpositive dimensions",
+			args:   []string{"-w", "0", "-h", "48", "presets"},
+			exit:   2,
+			stderr: "must be positive",
+		},
+		{
+			name:   "chunk-gops below one",
+			args:   []string{"-chunk-gops", "0", "presets"},
+			exit:   2,
+			stderr: "-chunk-gops",
+		},
+		{
+			name:   "negative chunk index",
+			args:   []string{"-chunk", "-1", "-in", "x.vapp", "chunk"},
+			exit:   2,
+			stderr: "-chunk",
+		},
+		{
+			name:   "nonpositive req-timeout",
+			args:   []string{"-req-timeout", "0s", "-archive", "x.vacs", "serve"},
+			exit:   2,
+			stderr: "-req-timeout",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The baseline file records grandfathered findings so the analyzer gate can
+// be adopted without a flag day: a finding listed in the baseline is
+// reported as suppressed, anything new fails. Entries are keyed by
+// (analyzer, file, message) — line numbers are deliberately excluded so
+// unrelated edits do not invalidate the file. Lines starting with '#' are
+// justification comments and every grandfathered entry should carry one.
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+func (e BaselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// Baseline is a set of grandfathered findings.
+type Baseline struct {
+	entries map[string]bool
+	seen    map[string]bool
+}
+
+// ReadBaseline parses a baseline file. A missing file is an empty baseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: map[string]bool{}, seen: map[string]bool{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want analyzer<TAB>file<TAB>message)", path, ln)
+		}
+		b.entries[BaselineEntry{Analyzer: parts[0], File: parts[1], Message: parts[2]}.key()] = true
+	}
+	return b, sc.Err()
+}
+
+// Match reports whether d is grandfathered, recording the hit so Stale can
+// report entries that no longer match anything.
+func (b *Baseline) Match(d Diagnostic, relTo string) bool {
+	k := BaselineEntry{Analyzer: d.Analyzer, File: relPath(relTo, d.Pos.Filename), Message: d.Message}.key()
+	if b.entries[k] {
+		b.seen[k] = true
+		return true
+	}
+	return false
+}
+
+// Stale returns baseline entries that matched no finding in the last run —
+// fixed findings whose entries should be deleted.
+func (b *Baseline) Stale() []string {
+	var stale []string
+	for k := range b.entries {
+		if !b.seen[k] {
+			parts := strings.SplitN(k, "\x00", 3)
+			stale = append(stale, strings.Join(parts, "\t"))
+		}
+	}
+	return stale
+}
+
+// WriteBaseline renders findings as a baseline file body, one entry per
+// finding, with a header documenting the format.
+func WriteBaseline(diags []Diagnostic, relTo string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# vetvideoapp baseline — grandfathered findings, one per line:\n")
+	buf.WriteString("#   analyzer<TAB>file<TAB>message\n")
+	buf.WriteString("# Every entry must carry a '#' comment justifying why it is exempt.\n")
+	buf.WriteString("# Regenerate with: vetvideoapp -write-baseline ./...\n")
+	for _, d := range diags {
+		fmt.Fprintf(&buf, "%s\t%s\t%s\n", d.Analyzer, relPath(relTo, d.Pos.Filename), d.Message)
+	}
+	return buf.Bytes()
+}
+
+// relPath normalizes a finding's filename relative to the module root with
+// forward slashes, so baselines are portable across checkouts.
+func relPath(relTo, path string) string {
+	if relTo != "" {
+		if r, err := filepath.Rel(relTo, path); err == nil && !strings.HasPrefix(r, "..") {
+			path = r
+		}
+	}
+	return filepath.ToSlash(path)
+}

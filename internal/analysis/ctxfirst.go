@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxfirst enforces the repo's context conventions: a context.Context
+// parameter is always the first parameter (the *Context entry-point style
+// every subsystem uses), and fresh root contexts — context.Background() /
+// context.TODO() — are never minted inside library code, where they detach
+// work from the caller's cancellation. Package main, tests, and explicitly
+// annotated compatibility wrappers (the context-less convenience API) are
+// exempt.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter; no context.Background()/TODO() in library code\n\n" +
+		"Library functions receive cancellation from their caller; minting a root\n" +
+		"context silently detaches retries, decodes and RPCs from request deadlines.\n" +
+		"Exempt: package main, _test.go files, and compatibility wrappers annotated\n" +
+		"with vetvideoapp:allow ctxfirst.",
+	Run: runCtxfirst,
+}
+
+func runCtxfirst(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncType:
+				checkCtxPosition(pass, nn)
+			case *ast.CallExpr:
+				if isMain || isTest {
+					return true
+				}
+				callee := staticCallee(pass.Info, nn)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+					return true
+				}
+				if callee.Name() == "Background" || callee.Name() == "TODO" {
+					pass.Reportf(nn.Pos(),
+						"calls context.%s() in library code; thread the caller's context through (or annotate a deliberate detachment with vetvideoapp:allow ctxfirst)", callee.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition flags function signatures that take context.Context
+// anywhere but first.
+func checkCtxPosition(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Parameter index counts names, not fields: f(a int, ctx context.Context)
+	// has ctx at index 1.
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass, field.Type) && idx != 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context is parameter %d; it must be the first parameter", idx)
+		}
+		idx += n
+	}
+}
+
+func isContextType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

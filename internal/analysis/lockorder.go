@@ -1,0 +1,480 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Lockorder flags lock-ordering inversions against declared `// lock-order:`
+// annotations — the machine check for the PR-7 catalog ABBA deadlock, where
+// one path acquired Catalog.mu then tenant.mu while the gauge path acquired
+// tenant.mu then Catalog.mu.
+//
+// A mutex field or package-level mutex variable declares its rank with a
+// trailing comment:
+//
+//	mu sync.Mutex // lock-order: 0 — catalog membership (outer)
+//
+// Lower ranks are outer locks and must be acquired first. The analyzer
+// flags, within each function of the package, any acquisition of a
+// lower-ranked lock while a higher-ranked one is held — directly, or through
+// a call to another function of the package that (transitively) performs
+// such an acquisition. Deferred calls and goroutine bodies run outside the
+// current critical section's order and are not tracked; same-rank nesting is
+// not checked (distinct instances of one rank are indistinguishable
+// statically).
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flags acquisitions that invert a declared `// lock-order:` annotation\n\n" +
+		"Annotate sync.Mutex/RWMutex fields and package-level mutex variables with\n" +
+		"`// lock-order: N` (lower N = outer lock, acquired first). Acquiring a\n" +
+		"lower-ranked lock while holding a higher-ranked one — directly or via a\n" +
+		"same-package call — is reported as an inversion. Guards against the PR-7\n" +
+		"catalog/tenant ABBA deadlock.",
+	Run: runLockorder,
+}
+
+var lockOrderRe = regexp.MustCompile(`lock-order:\s*(-?\d+)`)
+
+// lockRank is one annotated mutex: its declared rank and a human label
+// (Type.field or the variable name).
+type lockRank struct {
+	rank  int
+	label string
+}
+
+// heldLock is one annotated lock currently held during the linear walk.
+type heldLock struct {
+	obj  *types.Var
+	rank lockRank
+	pos  token.Pos
+}
+
+// lockSummary is the per-function fact used for the transitive check: every
+// rank the function may acquire while executing, and its same-package
+// static callees.
+type lockSummary struct {
+	acquires map[int]lockRank
+	callees  []*types.Func
+}
+
+func runLockorder(pass *Pass) error {
+	ranks := collectLockRanks(pass)
+	if len(ranks) == 0 {
+		return nil
+	}
+
+	// Pass 1: per-function summaries (direct acquisitions + static callees).
+	summaries := map[*types.Func]*lockSummary{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			summaries[obj] = summarizeLocks(pass, fd.Body, ranks)
+		}
+	}
+	closure := map[*types.Func]map[int]lockRank{}
+	for fn := range summaries {
+		transitiveAcquires(fn, summaries, closure, map[*types.Func]bool{})
+	}
+
+	// Pass 2: linear walk of every function (and every function literal as
+	// its own context — closures run at times the enclosing order does not
+	// constrain), tracking held annotated locks.
+	w := &lockWalker{pass: pass, ranks: ranks, closure: closure}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.checkBody(fn.Body)
+				}
+				return true // descend: nested FuncLits get their own context
+			case *ast.FuncLit:
+				w.checkBody(fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectLockRanks maps annotated mutex field/variable objects to their
+// declared ranks.
+func collectLockRanks(pass *Pass) map[*types.Var]lockRank {
+	ranks := map[*types.Var]lockRank{}
+	addField := func(owner string, name *ast.Ident, comment string) {
+		m := lockOrderRe.FindStringSubmatch(comment)
+		if m == nil {
+			return
+		}
+		rank, err := strconv.Atoi(m[1])
+		if err != nil {
+			return
+		}
+		v, ok := pass.Info.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		label := name.Name
+		if owner != "" {
+			label = owner + "." + name.Name
+		}
+		ranks[v] = lockRank{rank: rank, label: label}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !isMutexType(pass.Info, field.Type) {
+							continue
+						}
+						comment := field.Doc.Text() + " " + field.Comment.Text()
+						for _, name := range field.Names {
+							addField(s.Name.Name, name, comment)
+						}
+					}
+				case *ast.ValueSpec:
+					if s.Type != nil && !isMutexType(pass.Info, s.Type) {
+						continue
+					}
+					comment := gd.Doc.Text() + " " + s.Doc.Text() + " " + s.Comment.Text()
+					for _, name := range s.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok && isMutex(v.Type()) {
+							addField("", name, comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	return ranks
+}
+
+// isMutexType reports whether the type expression denotes sync.Mutex or
+// sync.RWMutex.
+func isMutexType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	return isMutex(tv.Type)
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexOp resolves a call to x.mu.Lock()/Unlock()/RLock()/RUnlock() on an
+// annotated lock, returning the lock's object and whether it is an acquire.
+func mutexOp(pass *Pass, ranks map[*types.Var]lockRank, call *ast.CallExpr) (obj *types.Var, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var isAcquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+		isAcquire = false
+	default:
+		return nil, false, false
+	}
+	var target *types.Var
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[x]; ok {
+			target, _ = s.Obj().(*types.Var)
+		} else {
+			target, _ = pass.Info.Uses[x.Sel].(*types.Var)
+		}
+	case *ast.Ident:
+		target, _ = pass.Info.Uses[x].(*types.Var)
+	}
+	if target == nil {
+		return nil, false, false
+	}
+	if _, annotated := ranks[target]; !annotated {
+		return nil, false, false
+	}
+	return target, isAcquire, true
+}
+
+// summarizeLocks records which annotated ranks a body acquires directly and
+// which same-package functions it calls, skipping nested function literals
+// (separate contexts).
+func summarizeLocks(pass *Pass, body *ast.BlockStmt, ranks map[*types.Var]lockRank) *lockSummary {
+	sum := &lockSummary{acquires: map[int]lockRank{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if obj, acquire, ok := mutexOp(pass, ranks, nn); ok {
+				if acquire {
+					r := ranks[obj]
+					sum.acquires[r.rank] = r
+				}
+				return true
+			}
+			if callee := staticCallee(pass.Info, nn); callee != nil && callee.Pkg() == pass.Pkg {
+				sum.callees = append(sum.callees, callee)
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// transitiveAcquires computes every rank fn may acquire, following
+// same-package static calls, with a visiting set guarding recursion.
+func transitiveAcquires(fn *types.Func, summaries map[*types.Func]*lockSummary, memo map[*types.Func]map[int]lockRank, visiting map[*types.Func]bool) map[int]lockRank {
+	if got, ok := memo[fn]; ok {
+		return got
+	}
+	if visiting[fn] {
+		return nil
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	sum := summaries[fn]
+	if sum == nil {
+		return nil
+	}
+	out := map[int]lockRank{}
+	for r, lr := range sum.acquires {
+		out[r] = lr
+	}
+	for _, callee := range sum.callees {
+		for r, lr := range transitiveAcquires(callee, summaries, memo, visiting) {
+			if _, ok := out[r]; !ok {
+				out[r] = lr
+			}
+		}
+	}
+	memo[fn] = out
+	return out
+}
+
+// lockWalker performs the order check over one function body: a linear,
+// branch-cloning walk tracking the currently-held annotated locks.
+type lockWalker struct {
+	pass    *Pass
+	ranks   map[*types.Var]lockRank
+	closure map[*types.Func]map[int]lockRank
+}
+
+func (w *lockWalker) checkBody(body *ast.BlockStmt) {
+	held := []heldLock{}
+	w.walkStmts(body.List, &held)
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held *[]heldLock) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+// walkStmt visits one statement. Branch bodies see a clone of the held set
+// (their effects do not leak to the sequel — conservative against false
+// positives from early-unlock-and-return patterns); straight-line
+// lock/unlock calls mutate the live set.
+func (w *lockWalker) walkStmt(s ast.Stmt, held *[]heldLock) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.walkExpr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.walkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.walkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		w.walkStmt(st.Init, held)
+		w.walkExpr(st.Cond, held)
+		branch := cloneHeld(*held)
+		w.walkStmts(st.Body.List, &branch)
+		if st.Else != nil {
+			els := cloneHeld(*held)
+			w.walkStmt(st.Else, &els)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.ForStmt:
+		w.walkStmt(st.Init, held)
+		if st.Cond != nil {
+			w.walkExpr(st.Cond, held)
+		}
+		body := cloneHeld(*held)
+		w.walkStmts(st.Body.List, &body)
+		w.walkStmt(st.Post, &body)
+	case *ast.RangeStmt:
+		w.walkExpr(st.X, held)
+		body := cloneHeld(*held)
+		w.walkStmts(st.Body.List, &body)
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init, held)
+		if st.Tag != nil {
+			w.walkExpr(st.Tag, held)
+		}
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				branch := cloneHeld(*held)
+				w.walkStmts(c.Body, &branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init, held)
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				branch := cloneHeld(*held)
+				w.walkStmts(c.Body, &branch)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				branch := cloneHeld(*held)
+				w.walkStmt(c.Comm, &branch)
+				w.walkStmts(c.Body, &branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// New goroutines and deferred calls run outside this critical
+		// section's acquisition order; their bodies (when literals) are
+		// checked as independent contexts by runLockorder.
+	case *ast.SendStmt:
+		w.walkExpr(st.Value, held)
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// walkExpr visits the calls inside one expression in source order, skipping
+// function literals.
+func (w *lockWalker) walkExpr(e ast.Expr, held *[]heldLock) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.visitCall(call, held)
+		return true
+	})
+}
+
+func (w *lockWalker) visitCall(call *ast.CallExpr, held *[]heldLock) {
+	if obj, acquire, ok := mutexOp(w.pass, w.ranks, call); ok {
+		rank := w.ranks[obj]
+		if acquire {
+			for _, h := range *held {
+				if rank.rank < h.rank.rank {
+					w.pass.Reportf(call.Pos(),
+						"acquires %s (lock-order %d) while holding %s (lock-order %d): lock-ordering inversion",
+						rank.label, rank.rank, h.rank.label, h.rank.rank)
+				}
+			}
+			*held = append(*held, heldLock{obj: obj, rank: rank, pos: call.Pos()})
+		} else {
+			// Release the most recent hold of this lock object.
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].obj == obj {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	callee := staticCallee(w.pass.Info, call)
+	if callee == nil || callee.Pkg() != w.pass.Pkg || len(*held) == 0 {
+		return
+	}
+	acq := w.closure[callee]
+	if len(acq) == 0 {
+		return
+	}
+	// Report the worst inversion the callee can introduce under each held
+	// lock, deterministically (lowest callee rank first).
+	callRanks := make([]int, 0, len(acq))
+	for r := range acq {
+		callRanks = append(callRanks, r)
+	}
+	sort.Ints(callRanks)
+	for _, h := range *held {
+		for _, r := range callRanks {
+			if r < h.rank.rank {
+				w.pass.Reportf(call.Pos(),
+					"calls %s, which acquires %s (lock-order %d), while holding %s (lock-order %d): lock-ordering inversion",
+					calleeName(callee), acq[r].label, r, h.rank.label, h.rank.rank)
+				break // one report per held lock per call
+			}
+		}
+	}
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// calleeName renders a *types.Func as Type.Method or Func for reports.
+func calleeName(f *types.Func) string {
+	sig := f.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Nodeprecated enforces the PR-7 "zero deprecated names" guarantee: the
+// public surface carries no `// Deprecated:` markers, so none may be
+// introduced. A transition shim must either be removed within the same PR
+// or shipped under a different migration mechanism (documented in the
+// README migration tables), never parked behind a Deprecated comment that
+// outlives its release.
+var Nodeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc: "no `// Deprecated:` declarations anywhere in the module\n\n" +
+		"PR-7 removed the last deprecated shims and the API guarantees zero\n" +
+		"deprecated names; this check keeps new ones from accruing.",
+	Run: runNodeprecated,
+}
+
+func runNodeprecated(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				for _, line := range strings.Split(text, "\n") {
+					line = strings.TrimSpace(line)
+					line = strings.TrimPrefix(line, "//")
+					line = strings.TrimPrefix(line, "/*")
+					line = strings.TrimSpace(line)
+					if strings.HasPrefix(line, "Deprecated:") {
+						pass.Reportf(c.Pos(),
+							"introduces a Deprecated: marker; this module guarantees zero deprecated names — remove the shim or redesign the migration")
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// obsNameArg maps each obs API entry point to the index of its name/stage
+// argument.
+var obsNameArg = map[string]int{
+	"Counter":    0,
+	"Gauge":      0,
+	"FrameDone":  0,
+	"StageStart": 0,
+	"StageEnd":   0,
+	"StartSpan":  1,
+}
+
+// obsRegistryPrefixes are the constant-name prefixes that make an exported
+// string constant of the obs package part of the metric-name registry.
+var obsRegistryPrefixes = []string{"Stage", "Ctr", "Gauge"}
+
+// Obsnames pins every observability name to the generated registry: any
+// stage, counter, or gauge name passed to an obs API must be a compile-time
+// constant whose value is declared in the obs package's Stage*/Ctr*/Gauge*
+// constants, and the generated internal/obs/names.go registry must list
+// exactly those constants. Typo'd metric names (which would silently split
+// a time series) and registry/doc drift both fail the build. Regenerate the
+// registry with `vetvideoapp -gen-obsnames` after adding a constant.
+var Obsnames = &Analyzer{
+	Name: "obsnames",
+	Doc: "obs counter/gauge/stage names must come from the generated internal/obs registry\n\n" +
+		"Names passed to Counter/Gauge/FrameDone/StageStart/StageEnd/StartSpan must\n" +
+		"be obs package constants (Stage*/Ctr*/Gauge*), and the generated Names\n" +
+		"registry in internal/obs/names.go must stay in sync with the constant set\n" +
+		"(run `vetvideoapp -gen-obsnames` to refresh it).",
+	Run: runObsnames,
+}
+
+// isObsPackage reports whether p is an observability package subject to the
+// registry rule.
+func isObsPackage(p *types.Package) bool { return p != nil && p.Name() == "obs" }
+
+// obsRegistry returns the registered name values of an obs package: the
+// values of its exported string constants named Stage*/Ctr*/Gauge*.
+func obsRegistry(p *types.Package) map[string]bool {
+	reg := map[string]bool{}
+	scope := p.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		if !hasRegistryPrefix(name) {
+			continue
+		}
+		reg[constant.StringVal(c.Val())] = true
+	}
+	return reg
+}
+
+func hasRegistryPrefix(name string) bool {
+	for _, p := range obsRegistryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runObsnames(pass *Pass) error {
+	if isObsPackage(pass.Pkg) {
+		return checkObsRegistrySync(pass)
+	}
+	registries := map[*types.Package]map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, argIdx, ok := obsCallee(pass, call)
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := pass.Info.Types[arg]
+			if !ok {
+				return true
+			}
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"obs name passed to %s must be a registered constant from the obs package, not a dynamic value", callee.Name())
+				return true
+			}
+			reg, ok := registries[callee.Pkg()]
+			if !ok {
+				reg = obsRegistry(callee.Pkg())
+				registries[callee.Pkg()] = reg
+			}
+			if val := constant.StringVal(tv.Value); !reg[val] {
+				pass.Reportf(arg.Pos(),
+					"obs name %q is not in the obs registry; declare a Stage*/Ctr*/Gauge* constant in the obs package and run `vetvideoapp -gen-obsnames`", val)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsCallee resolves call to an obs API target (Observer methods or the
+// obs package's StartSpan), returning the callee and the index of the name
+// argument.
+func obsCallee(pass *Pass, call *ast.CallExpr) (*types.Func, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	argIdx, watched := obsNameArg[sel.Sel.Name]
+	if !watched {
+		return nil, 0, false
+	}
+	var callee *types.Func
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		callee, _ = s.Obj().(*types.Func)
+	} else if f, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		callee = f
+	}
+	if callee == nil || !isObsPackage(callee.Pkg()) {
+		return nil, 0, false
+	}
+	return callee, argIdx, true
+}
+
+// checkObsRegistrySync runs inside the obs package: the generated Names
+// slice must reference exactly the registry constants.
+func checkObsRegistrySync(pass *Pass) error {
+	registry := obsRegistry(pass.Pkg)
+	var namesSpec *ast.ValueSpec
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "Names" {
+						namesSpec = vs
+					}
+				}
+			}
+		}
+	}
+	if namesSpec == nil {
+		if len(registry) > 0 && len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Package,
+				"obs package declares %d registry constants but no generated Names registry; run `vetvideoapp -gen-obsnames`", len(registry))
+		}
+		return nil
+	}
+	if len(namesSpec.Values) != 1 {
+		return nil
+	}
+	lit, ok := namesSpec.Values[0].(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(namesSpec.Pos(), "obs Names registry must be a composite literal of the registry constants")
+		return nil
+	}
+	listed := map[string]bool{}
+	for _, elt := range lit.Elts {
+		tv, ok := pass.Info.Types[elt]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(elt.Pos(), "obs Names registry entry is not a string constant")
+			continue
+		}
+		val := constant.StringVal(tv.Value)
+		if listed[val] {
+			pass.Reportf(elt.Pos(), "obs Names registry lists %q twice", val)
+		}
+		listed[val] = true
+		if !registry[val] {
+			pass.Reportf(elt.Pos(),
+				"obs Names registry entry %q matches no Stage*/Ctr*/Gauge* constant; run `vetvideoapp -gen-obsnames`", val)
+		}
+	}
+	missing := make([]string, 0)
+	for val := range registry {
+		if !listed[val] {
+			missing = append(missing, val)
+		}
+	}
+	sort.Strings(missing)
+	for _, val := range missing {
+		pass.Reportf(namesSpec.Pos(),
+			"obs registry constant %q is missing from the generated Names registry; run `vetvideoapp -gen-obsnames`", val)
+	}
+	return nil
+}
+
+// ObsNamesSource renders the generated internal/obs/names.go registry for
+// an obs package: one Names entry per Stage*/Ctr*/Gauge* constant, sorted
+// by constant name, plus the KnownName lookup.
+func ObsNamesSource(p *types.Package) []byte {
+	scope := p.Scope()
+	var idents []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		if hasRegistryPrefix(name) {
+			idents = append(idents, name)
+		}
+	}
+	sort.Strings(idents)
+	var b strings.Builder
+	b.WriteString("// Code generated by vetvideoapp -gen-obsnames; DO NOT EDIT.\n\n")
+	b.WriteString("package " + p.Name() + "\n\n")
+	b.WriteString("// Names is the registry of every stage, counter and gauge name this\n")
+	b.WriteString("// module may publish: exactly the package's Stage*/Ctr*/Gauge* constants.\n")
+	b.WriteString("// The obsnames analyzer enforces that every name passed to an obs API is\n")
+	b.WriteString("// one of these and that this file stays in sync with the constant set.\n")
+	b.WriteString("var Names = []string{\n")
+	for _, id := range idents {
+		fmt.Fprintf(&b, "\t%s,\n", id)
+	}
+	b.WriteString("}\n\n")
+	b.WriteString("// nameSet indexes Names for KnownName.\n")
+	b.WriteString("var nameSet = func() map[string]bool {\n")
+	b.WriteString("\tm := make(map[string]bool, len(Names))\n")
+	b.WriteString("\tfor _, n := range Names {\n")
+	b.WriteString("\t\tm[n] = true\n")
+	b.WriteString("\t}\n")
+	b.WriteString("\treturn m\n")
+	b.WriteString("}()\n\n")
+	b.WriteString("// KnownName reports whether s is a registered observability name.\n")
+	b.WriteString("func KnownName(s string) bool { return nameSet[s] }\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,3 @@
+module ctxfirst.example
+
+go 1.24

@@ -1,0 +1,27 @@
+// Package pipeline violates both context conventions: ctx is buried in the
+// parameter list, and library code mints root contexts instead of
+// threading the caller's.
+package pipeline
+
+import "context"
+
+// Process takes ctx second, so deadlines do not read as the first concern.
+func Process(name string, ctx context.Context) error {
+	return run(ctx, name)
+}
+
+func run(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// Detach silently swaps the caller's context for a fresh root.
+func Detach(name string) error {
+	return run(context.Background(), name)
+}
+
+// Later was stubbed with a TODO context that never got threaded.
+func Later(name string) error {
+	return run(context.TODO(), name)
+}

@@ -1,0 +1,3 @@
+module ctxfirstok.example
+
+go 1.24

@@ -1,0 +1,29 @@
+// Package pipeline follows the context conventions: ctx first everywhere,
+// and the one documented context-less convenience wrapper carries an allow
+// comment.
+package pipeline
+
+import "context"
+
+// Process threads the caller's context as the first parameter.
+func Process(ctx context.Context, name string) error {
+	return run(ctx, name)
+}
+
+func run(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// ProcessAll is the documented context-less convenience form.
+func ProcessAll(names []string) error {
+	//vetvideoapp:allow ctxfirst — documented context-less convenience wrapper; callers needing cancellation use Process
+	ctx := context.Background()
+	for _, n := range names {
+		if err := run(ctx, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Package catalog re-introduces the PR-7 catalog ABBA lock inversion: the
+// tenant lock is held while the catalog lock is acquired, both directly and
+// through a helper call — the two shapes the deadlock actually shipped in.
+package catalog
+
+import "sync"
+
+// Catalog is the multi-tenant server slot table.
+type Catalog struct {
+	mu      sync.Mutex // lock-order: 0 — catalog membership (outer)
+	tenants map[string]*tenant
+}
+
+type tenant struct {
+	mu   sync.Mutex // lock-order: 1 — tenant state (inner)
+	open bool
+}
+
+// Remove holds the tenant lock and closes through the helper — the helper
+// acquires Catalog.mu, inverting the declared order (the PR-7 deadlock).
+func (c *Catalog) Remove(name string, t *tenant) {
+	t.mu.Lock()
+	c.closeTenantLocked(name, t)
+	t.mu.Unlock()
+}
+
+// closeTenantLocked updates catalog membership under Catalog.mu; callers
+// hold t.mu, so this acquisition is rank 0 under rank 1.
+func (c *Catalog) closeTenantLocked(name string, t *tenant) {
+	c.mu.Lock()
+	delete(c.tenants, name)
+	t.open = false
+	c.mu.Unlock()
+}
+
+// gaugeUpdate is the direct form of the same inversion.
+func (c *Catalog) gaugeUpdate(t *tenant) int {
+	t.mu.Lock()
+	c.mu.Lock()
+	n := len(c.tenants)
+	c.mu.Unlock()
+	t.mu.Unlock()
+	return n
+}

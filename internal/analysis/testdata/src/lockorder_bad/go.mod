@@ -1,0 +1,3 @@
+module lockorder.example
+
+go 1.24

@@ -1,0 +1,56 @@
+// Package catalog is the negative lockorder fixture: every acquisition
+// respects the declared order (outer rank 0 before inner rank 1), including
+// nested critical sections and the lookup-then-lock pattern the real
+// catalog uses.
+package catalog
+
+import "sync"
+
+// Catalog is the multi-tenant server slot table.
+type Catalog struct {
+	mu      sync.Mutex // lock-order: 0 — catalog membership (outer)
+	tenants map[string]*tenant
+}
+
+type tenant struct {
+	mu   sync.Mutex // lock-order: 1 — tenant state (inner)
+	open bool
+}
+
+// Lookup snapshots membership under the catalog lock, releases it, and only
+// then touches the tenant lock — the post-PR-7 discipline.
+func (c *Catalog) Lookup(name string) bool {
+	c.mu.Lock()
+	t := c.tenants[name]
+	c.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	open := t.open
+	t.mu.Unlock()
+	return open
+}
+
+// Nest acquires in ascending declared order, which is allowed.
+func (c *Catalog) Nest(t *tenant) int {
+	c.mu.Lock()
+	t.mu.Lock()
+	n := len(c.tenants)
+	t.mu.Unlock()
+	c.mu.Unlock()
+	return n
+}
+
+// closeLocked runs under t.mu and touches only unranked state — no
+// inversion.
+func closeLocked(t *tenant) {
+	t.open = false
+}
+
+// Shut holds the tenant lock over a helper that acquires nothing ranked.
+func (c *Catalog) Shut(t *tenant) {
+	t.mu.Lock()
+	closeLocked(t)
+	t.mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module lockorderok.example
+
+go 1.24

@@ -1,0 +1,8 @@
+// Package api carries a deprecation marker, which this module forbids:
+// dead API is deleted, not left to rot behind a Deprecated notice.
+package api
+
+// OldOpen opens an archive by path.
+//
+// Deprecated: use Open instead.
+func OldOpen(path string) error { return nil }

@@ -1,0 +1,3 @@
+module nodeprecated.example
+
+go 1.24

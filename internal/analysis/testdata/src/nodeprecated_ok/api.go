@@ -1,0 +1,7 @@
+// Package api has no deprecation markers; superseded APIs are removed
+// outright.
+package api
+
+// Open opens an archive by path. The word "deprecated" mid-sentence is not
+// a marker and must not be flagged.
+func Open(path string) error { return nil }

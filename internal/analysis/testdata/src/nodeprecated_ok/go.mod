@@ -1,0 +1,3 @@
+module nodeprecatedok.example
+
+go 1.24

@@ -1,0 +1,16 @@
+// Package app passes a typo'd literal and a dynamic value where registered
+// obs constants are required — each would silently split a time series.
+package app
+
+import (
+	"context"
+
+	"obsnames.example/obs"
+)
+
+// Record publishes per-request metrics.
+func Record(ctx context.Context, o *obs.Observer, name string) {
+	o.Counter("framez")
+	o.Counter(name)
+	obs.StartSpan(ctx, obs.StageDecode)
+}

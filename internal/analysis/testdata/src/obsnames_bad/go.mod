@@ -1,0 +1,3 @@
+module obsnames.example
+
+go 1.24

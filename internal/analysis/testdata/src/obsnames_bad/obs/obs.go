@@ -1,0 +1,27 @@
+// Package obs is a miniature observability package whose generated Names
+// registry has drifted: it lists a name with no backing constant and is
+// missing two constants that were added without regenerating.
+package obs
+
+import "context"
+
+const (
+	StageDecode = "decode"
+	CtrFrames   = "frames"
+	GaugeOpen   = "open_archives"
+)
+
+// Names is stale relative to the constant set above.
+var Names = []string{
+	StageDecode,
+	"stale_entry",
+}
+
+// Observer publishes counters.
+type Observer struct{}
+
+// Counter bumps the named counter.
+func (o *Observer) Counter(name string) {}
+
+// StartSpan opens a named tracing span.
+func StartSpan(ctx context.Context, name string) context.Context { return ctx }

@@ -1,0 +1,15 @@
+// Package app publishes metrics exclusively through registered obs
+// constants.
+package app
+
+import (
+	"context"
+
+	"obsnamesok.example/obs"
+)
+
+// Record publishes per-request metrics.
+func Record(ctx context.Context, o *obs.Observer) {
+	o.Counter(obs.CtrFrames)
+	obs.StartSpan(ctx, obs.StageDecode)
+}

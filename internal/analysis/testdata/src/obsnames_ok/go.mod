@@ -1,0 +1,3 @@
+module obsnamesok.example
+
+go 1.24

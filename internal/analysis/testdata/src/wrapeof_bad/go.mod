@@ -1,0 +1,3 @@
+module wrapeof.example
+
+go 1.24

@@ -1,0 +1,38 @@
+// Package store leaks bare io EOF sentinels out of the read path — the
+// exact bug class the PR-6/PR-7 fuzzers hit: callers retried on
+// io.ErrUnexpectedEOF instead of seeing ErrCorruptRecord.
+package store
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCorruptRecord is the typed sentinel bare EOFs must be mapped to.
+var ErrCorruptRecord = errors.New("store: corrupt record")
+
+// ReadHeader returns the bare sentinel instead of mapping it.
+func ReadHeader(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// Retryable compares against the bare sentinels instead of the typed ones.
+func Retryable(err error) bool {
+	if err == io.EOF {
+		return false
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// classify switches on the bare sentinel.
+func classify(err error) string {
+	switch err {
+	case io.EOF:
+		return "eof"
+	default:
+		return "other"
+	}
+}

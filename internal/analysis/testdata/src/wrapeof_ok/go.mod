@@ -1,0 +1,3 @@
+module wrapeofok.example
+
+go 1.24

@@ -1,0 +1,28 @@
+// Package store maps every bare io EOF sentinel to a typed error at the
+// boundary, and marks the one deliberate pass-through with an allow comment.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorruptRecord is the typed sentinel bare EOFs are mapped to.
+var ErrCorruptRecord = errors.New("store: corrupt record")
+
+// ReadHeader maps short reads to the typed sentinel at the boundary.
+func ReadHeader(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) { //vetvideoapp:allow wrapeof — this is the mapping site: bare EOFs are consumed here and converted to the typed sentinel
+			return fmt.Errorf("%w: truncated header", ErrCorruptRecord)
+		}
+		return err
+	}
+	return nil
+}
+
+// Retryable consults only the typed sentinel.
+func Retryable(err error) bool {
+	return !errors.Is(err, ErrCorruptRecord)
+}

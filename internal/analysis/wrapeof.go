@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// wrapeofPackages are the import-path suffixes the wrapeof rule applies
+// to: the archive parser and the serving layer, where a bare io.EOF
+// escaping means a corruption report callers cannot classify.
+var wrapeofPackages = []string{"internal/store", "internal/serve"}
+
+// Wrapeof flags bare io.EOF / io.ErrUnexpectedEOF returns and comparisons
+// in the storage and serving packages — the PR-6/PR-7 fuzz bugs, where raw
+// EOF escaped the archive parser instead of the typed sentinels
+// ErrCorruptRecord (data damage) and ErrReadFailed (device failure).
+//
+// Inside internal/store and internal/serve, io.EOF and io.ErrUnexpectedEOF
+// must never be returned as-is, compared with == or !=, switched over, or
+// probed with errors.Is/errors.As: every EOF crossing a record boundary
+// must be mapped to (or wrapped under) a typed sentinel first. The handful
+// of legitimate sites — io.ReaderAt implementations, whose contract
+// requires returning bare io.EOF, and the designated mapping helpers — each
+// carry a justifying vetvideoapp:allow comment.
+var Wrapeof = &Analyzer{
+	Name: "wrapeof",
+	Doc: "flags bare io.EOF/io.ErrUnexpectedEOF in internal/store and internal/serve\n\n" +
+		"EOF-class errors must be mapped to the typed sentinels ErrCorruptRecord /\n" +
+		"ErrReadFailed before crossing a function boundary; returning or comparing\n" +
+		"them bare reintroduces the PR-6/PR-7 fuzz bugs. ReaderAt contracts and the\n" +
+		"mapping helpers themselves are annotated with vetvideoapp:allow wrapeof.",
+	Run: runWrapeof,
+}
+
+func runWrapeof(pass *Pass) error {
+	applies := false
+	for _, suffix := range wrapeofPackages {
+		if pass.Pkg.Path() == suffix || strings.HasSuffix(pass.Pkg.Path(), "/"+suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range nn.Results {
+					if name, ok := objIsIOErr(pass.Info, res); ok {
+						pass.Reportf(res.Pos(),
+							"returns bare %s; map it to store.ErrCorruptRecord (data damage) or store.ErrReadFailed (device failure), wrapping with %%w", name)
+					}
+				}
+			case *ast.BinaryExpr:
+				if nn.Op != token.EQL && nn.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{nn.X, nn.Y} {
+					if name, ok := objIsIOErr(pass.Info, side); ok {
+						pass.Reportf(nn.Pos(),
+							"compares %s bare; EOF must be classified into the typed sentinels at the read site, not leaked to callers", name)
+					}
+				}
+			case *ast.CaseClause:
+				for _, e := range nn.List {
+					if name, ok := objIsIOErr(pass.Info, e); ok {
+						pass.Reportf(e.Pos(),
+							"switches on bare %s; EOF must be classified into the typed sentinels at the read site, not leaked to callers", name)
+					}
+				}
+			case *ast.CallExpr:
+				callee := staticCallee(pass.Info, nn)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "errors" {
+					return true
+				}
+				if callee.Name() != "Is" && callee.Name() != "As" {
+					return true
+				}
+				if len(nn.Args) != 2 {
+					return true
+				}
+				if name, ok := objIsIOErr(pass.Info, nn.Args[1]); ok {
+					pass.Reportf(nn.Pos(),
+						"probes errors.%s(err, %s); probe the typed sentinels (ErrCorruptRecord/ErrReadFailed) instead of raw EOF", callee.Name(), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

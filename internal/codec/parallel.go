@@ -15,6 +15,7 @@ import (
 // itself, so GOPs are independent units of work. workers <= 0 selects
 // GOMAXPROCS.
 func EncodeParallel(seq *frame.Sequence, p Params, workers int) (*Video, error) {
+	//vetvideoapp:allow ctxfirst — EncodeParallel is the documented context-less convenience form of EncodeParallelContext
 	return EncodeParallelContext(context.Background(), seq, p, workers)
 }
 
@@ -131,6 +132,7 @@ func headerRefSpans(v *Video) [][2]int {
 // bit- and pixel-identical to Decode for any input, including corrupted
 // payloads. workers <= 0 selects GOMAXPROCS.
 func DecodeParallel(v *Video, workers int) (*frame.Sequence, error) {
+	//vetvideoapp:allow ctxfirst — DecodeParallel is the documented context-less convenience form of DecodeContext
 	return DecodeContext(context.Background(), v, DecodeOptions{}, workers)
 }
 

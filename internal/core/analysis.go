@@ -62,6 +62,7 @@ type Analysis struct {
 // Analyze runs the VideoApp dependency analysis on an encoded video.
 func Analyze(v *codec.Video, opts Options) *Analysis {
 	// A background context and a single worker cannot fail.
+	//vetvideoapp:allow ctxfirst — Analyze is the documented context-less convenience form of AnalyzeContext
 	an, _ := AnalyzeContext(context.Background(), v, opts, 1)
 	return an
 }

@@ -95,6 +95,7 @@ func Figure11(cfg Config, crfs []int, variable core.ClassAssignment) (*Fig11Resu
 				worst := 0.0
 				for run := 0; run < cfg.Runs; run++ {
 					rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*104729))
+					//vetvideoapp:allow ctxfirst — the experiment harness is a batch driver with no caller cancellation to thread
 					stored, flips, err := sys.StoreContext(context.Background(), ev.Video, parts, store.StoreOpts{Rng: rng})
 					if err != nil {
 						return nil, err

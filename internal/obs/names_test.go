@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+	"testing"
+)
+
+// registryConstants parses every non-test, non-generated source file of this
+// package and collects the values of its exported Stage*/Ctr*/Gauge* string
+// constants — the set the generated Names registry must mirror exactly.
+func registryConstants(t *testing.T) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "names.go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	// Type-check with a nil importer: the constant declarations this test
+	// cares about are untyped strings, and any import-induced errors are
+	// ignored via the error handler.
+	conf := types.Config{Error: func(error) {}, Importer: nil}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}}
+	conf.Check("obs", fset, files, info)
+	reg := map[string]bool{}
+	for _, obj := range info.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		name := c.Name()
+		if strings.HasPrefix(name, "Stage") || strings.HasPrefix(name, "Ctr") || strings.HasPrefix(name, "Gauge") {
+			reg[constant.StringVal(c.Val())] = true
+		}
+	}
+	return reg
+}
+
+// TestNamesRegistryInSync pins names.go to the constant set: adding a
+// Stage*/Ctr*/Gauge* constant without re-running `vetvideoapp -gen-obsnames`
+// fails here (and in `make lint`).
+func TestNamesRegistryInSync(t *testing.T) {
+	want := registryConstants(t)
+	if len(want) == 0 {
+		t.Fatal("found no registry constants; parser misconfigured?")
+	}
+	got := map[string]bool{}
+	for _, n := range Names {
+		if got[n] {
+			t.Errorf("Names lists %q twice", n)
+		}
+		got[n] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("registry constant %q missing from Names; run `vetvideoapp -gen-obsnames`", n)
+		}
+	}
+	for n := range got {
+		if !want[n] {
+			t.Errorf("Names entry %q matches no registry constant; run `vetvideoapp -gen-obsnames`", n)
+		}
+	}
+}
+
+func TestKnownName(t *testing.T) {
+	if !KnownName(StageDecode) {
+		t.Errorf("KnownName(%q) = false, want true", StageDecode)
+	}
+	if !KnownName(CtrServeRequests) {
+		t.Errorf("KnownName(%q) = false, want true", CtrServeRequests)
+	}
+	if KnownName("no_such_metric") {
+		t.Error(`KnownName("no_such_metric") = true, want false`)
+	}
+	if KnownName("") {
+		t.Error(`KnownName("") = true, want false`)
+	}
+}
+
+// TestNamesSorted keeps the generated file deterministic: entries are
+// ordered by constant name, so regeneration is diff-stable.
+func TestNamesSorted(t *testing.T) {
+	// The generator sorts by constant identifier, not value; re-derive the
+	// identifier order from the source to check it.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "Names" {
+			return true
+		}
+		lit, ok := vs.Values[0].(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if id, ok := elt.(*ast.Ident); ok {
+				idents = append(idents, id.Name)
+			}
+		}
+		return false
+	})
+	if len(idents) == 0 {
+		t.Fatal("no Names entries parsed from names.go")
+	}
+	for i := 1; i < len(idents); i++ {
+		if idents[i-1] >= idents[i] {
+			t.Errorf("Names not sorted: %q before %q", idents[i-1], idents[i])
+		}
+	}
+}

@@ -62,12 +62,12 @@ type Catalog struct {
 	inFlight  atomic.Int64
 	mux       *http.ServeMux
 
-	mu          sync.Mutex
+	mu          sync.Mutex // lock-order: 0 — catalog membership (outer); never acquired while any tenant lock is held (the PR-7 ABBA deadlock)
 	tenants     map[string]*tenant
 	defaultName string
 
 	open    atomic.Int64  // archives currently open, mirrored to the gauge
-	gaugeMu sync.Mutex    // keeps open-gauge publishes in delta order
+	gaugeMu sync.Mutex    // lock-order: 2 — leaf: keeps open-gauge publishes in delta order; safe to take under t.mu (openDelta from tenant close paths)
 	gens    atomic.Uint64 // catalog-global open generation; names cache spaces
 
 	// cacheGaugeTick counts chunk responses to rate-limit cache-gauge
@@ -97,7 +97,7 @@ type tenant struct {
 	polSet bool              // thread pol through read contexts
 	pol    store.FaultPolicy // effective policy (spec override or catalog-wide)
 
-	mu      sync.Mutex
+	mu      sync.Mutex // lock-order: 1 — tenant state (inner); Catalog.mu (rank 0) must never be acquired while this is held
 	archive *store.ChunkArchive
 	backend store.Backend // nil for static tenants: the caller owns their archive
 	gen     uint64        // catalog-global generation of the current open; names the cache space
@@ -770,6 +770,7 @@ func (c *Catalog) Serve(ctx context.Context, l net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	//vetvideoapp:allow ctxfirst — deliberate detachment: the drain deadline must outlive the just-cancelled serve context
 	drain, cancel := context.WithTimeout(context.Background(), c.opts.DrainTimeout)
 	defer cancel()
 	err := srv.Shutdown(drain)

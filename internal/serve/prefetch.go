@@ -90,6 +90,7 @@ type prefetcher struct {
 
 // newPrefetcher starts the worker pool. depth must be >= 1.
 func newPrefetcher(c *Catalog, depth int) *prefetcher {
+	//vetvideoapp:allow ctxfirst — deliberate detachment: readahead outlives any single request; its lifecycle is the prefetcher's close, not a caller context
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &prefetcher{
 		c:      c,

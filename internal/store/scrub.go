@@ -120,6 +120,7 @@ func (a *ChunkArchive) regions(rec chunkRec) []region {
 // holds a verified copy.
 func (a *ChunkArchive) repairRegion(ctx context.Context, pol FaultPolicy, o obs.Observer, w io.WriterAt, reg region) bool {
 	buf := make([]byte, reg.n)
+	//vetvideoapp:allow wrapeof — ReaderAt contract: a full read ending exactly at the mirror's end carries io.EOF and is still a success; anything else is handled as repair failure, not propagated
 	if n, err := a.mirror.ReadAt(buf, reg.off); err != nil && !(n == len(buf) && errors.Is(err, io.EOF)) {
 		return false
 	}

@@ -139,6 +139,7 @@ type FrameCost struct {
 // Footprint computes the storage cost of a partitioned video, including the
 // precisely-stored frame headers and pivot tables.
 func (s *System) Footprint(v *codec.Video, parts []core.FramePartition, pixels int64) (Stats, error) {
+	//vetvideoapp:allow ctxfirst — Footprint is the documented context-less convenience form of FootprintContext
 	return s.FootprintContext(context.Background(), v, parts, pixels, 1)
 }
 

@@ -402,6 +402,7 @@ type Result struct {
 // Process encodes, analyzes and partitions a raw sequence, and computes its
 // storage footprint under the pipeline's assignment.
 func (p *Pipeline) Process(seq *Sequence) (*Result, error) {
+	//vetvideoapp:allow ctxfirst — Process is the documented context-less convenience form of ProcessContext
 	return p.ProcessContext(context.Background(), seq)
 }
 
@@ -449,6 +450,7 @@ func (p *Pipeline) ProcessContext(ctx context.Context, seq *Sequence) (*Result, 
 // the pipeline's worker budget; for a fixed seed the outcome is a pure
 // function of the processed video — independent of the worker count.
 func (r *Result) StoreRoundTrip(seed int64) (*Sequence, int, error) {
+	//vetvideoapp:allow ctxfirst — StoreRoundTrip is the documented context-less convenience form of StoreRoundTripContext
 	return r.StoreRoundTripContext(context.Background(), seed)
 }
 
